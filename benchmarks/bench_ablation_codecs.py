@@ -1,0 +1,116 @@
+"""§4B ablation - codec and encryption choices for E2 communication.
+
+The paper lets operators pick JSON / protobuf / ASN.1 encodings and AES /
+RSA encryption; this bench quantifies the trade-off on a realistic KPM
+indication: wire size and encode+decode cost per codec, plus the AES-CTR
+and RSA costs.
+"""
+
+import random
+
+import pytest
+
+from repro.cryptolite import AesCtr, generate_keypair
+from repro.e2.messages import indication
+from repro.e2.vendors import vendor_a, vendor_b
+
+
+def make_indication(n_ues: int = 10):
+    rng = random.Random(1)
+    ue_reports = [
+        {
+            "ue_id": i,
+            "slice_id": i % 3,
+            "cqi": rng.randint(1, 15),
+            "neighbor_cell": rng.randint(0, 3),
+            "neighbor_cqi": rng.randint(1, 15),
+            "avg_tput_bps": rng.uniform(1e5, 2e7),
+            "buffer_bytes": rng.randint(0, 1 << 20),
+        }
+        for i in range(n_ues)
+    ]
+    slice_reports = [
+        {"slice_id": s, "measured_bps": rng.uniform(1e6, 2e7), "target_bps": 1e7}
+        for s in range(3)
+    ]
+    return indication(1, 12345, ue_reports, slice_reports)
+
+
+MSG = make_indication()
+
+
+@pytest.mark.benchmark(group="ablation-codec")
+def test_json_roundtrip(benchmark):
+    profile = vendor_a()
+
+    def roundtrip():
+        return profile.decode(profile.encode(MSG))
+
+    assert benchmark(roundtrip) == MSG
+    print(f"\njson wire size: {len(profile.encode(MSG))} bytes")
+
+
+@pytest.mark.benchmark(group="ablation-codec")
+def test_pbwire_roundtrip(benchmark):
+    profile = vendor_b()
+
+    def roundtrip():
+        return profile.decode(profile.encode(MSG))
+
+    assert benchmark(roundtrip) == MSG
+    print(f"\npbwire wire size: {len(profile.encode(MSG))} bytes")
+
+
+@pytest.mark.benchmark(group="ablation-codec")
+def test_pbwire_aes_roundtrip(benchmark):
+    profile = vendor_b(aes_key=b"0123456789abcdef")
+
+    def roundtrip():
+        return profile.decode(profile.encode(MSG))
+
+    assert benchmark(roundtrip) == MSG
+
+
+@pytest.mark.benchmark(group="ablation-codec")
+def test_asn1lite_control_roundtrip(benchmark):
+    from repro.codecs import Asn1Field, Asn1LiteCodec, Asn1Schema
+
+    schema = Asn1Schema(
+        "Control",
+        [
+            Asn1Field("msg_type", "int", 0, 15),
+            Asn1Field("request_id", "int", 0, 65535),
+            Asn1Field("action", "int", 0, 3),
+            Asn1Field("target", "int", 0, 65535),
+            Asn1Field("value", "int", 0, (1 << 27) - 1),
+        ],
+    )
+    codec = Asn1LiteCodec(schema)
+    msg = {"msg_type": 5, "request_id": 77, "action": 1, "target": 2, "value": 9_000_000}
+
+    def roundtrip():
+        return codec.decode(codec.encode(msg))
+
+    assert benchmark(roundtrip) == msg
+    print(f"\nasn1lite control size: {len(codec.encode(msg))} bytes "
+          f"({schema.bit_size(msg)} bits)")
+
+
+@pytest.mark.benchmark(group="ablation-crypto")
+def test_aes_ctr_1kb(benchmark):
+    ctr = AesCtr(b"0123456789abcdef", b"nonce--1")
+    payload = bytes(range(256)) * 4
+
+    assert len(benchmark(ctr.encrypt, payload)) == 1024
+
+
+@pytest.mark.benchmark(group="ablation-crypto")
+def test_rsa_encrypt_decrypt(benchmark):
+    keypair = generate_keypair(bits=512, seed=7)
+    rng = random.Random(3)
+    message = b"quota update"
+
+    def roundtrip():
+        return keypair.decrypt(keypair.encrypt(message, rng=rng))
+
+    assert benchmark(roundtrip) == message

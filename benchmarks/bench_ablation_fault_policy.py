@@ -1,0 +1,52 @@
+"""§6A ablation - fault-tolerance policy cost and effectiveness.
+
+Compares a gNB slot with (a) a healthy plugin, (b) a permanently faulting
+plugin under FALLBACK (the default scheduler serves every slot), and
+(c) a faulting plugin after QUARANTINE (the plugin is no longer invoked).
+The interesting result: quarantine restores near-healthy slot cost because
+the trap/recover path disappears.
+"""
+
+import pytest
+
+from repro.abi import SchedulerPlugin
+from repro.channel import FixedMcsChannel
+from repro.gnb import FaultPolicy, GnbHost, SliceRuntime, UeContext
+from repro.plugins import plugin_wasm
+from repro.sched import TargetRateInterSlice
+from repro.traffic import FullBufferSource
+
+
+def make_gnb(plugin_name: str, quarantine_after: int) -> GnbHost:
+    gnb = GnbHost(
+        inter_slice=TargetRateInterSlice({1: 5e6}, slot_duration_s=1e-3),
+        fault_policy=FaultPolicy(quarantine_after=quarantine_after),
+    )
+    runtime = gnb.add_slice(SliceRuntime(1, "mvno"))
+    runtime.use_plugin(SchedulerPlugin.load(plugin_wasm(plugin_name), name=plugin_name))
+    gnb.attach_ue(UeContext(1, 1, FixedMcsChannel(28), FullBufferSource()))
+    return gnb
+
+
+@pytest.mark.benchmark(group="ablation-fault")
+def test_slot_healthy_plugin(benchmark):
+    gnb = make_gnb("rr", quarantine_after=3)
+    benchmark(gnb.step)
+    assert not gnb.fault_policy.events
+
+
+@pytest.mark.benchmark(group="ablation-fault")
+def test_slot_faulting_plugin_fallback(benchmark):
+    gnb = make_gnb("fault_null", quarantine_after=10**9)  # never quarantine
+    benchmark(gnb.step)
+    assert gnb.fault_policy.events  # every slot faulted and fell back
+    assert gnb.total_delivered_bytes > 0  # ...but service continued
+
+
+@pytest.mark.benchmark(group="ablation-fault")
+def test_slot_faulting_plugin_quarantined(benchmark):
+    gnb = make_gnb("fault_null", quarantine_after=2)
+    gnb.run(5)  # trip the quarantine
+    assert gnb.fault_policy.is_quarantined(1)
+    benchmark(gnb.step)
+    assert gnb.total_delivered_bytes > 0

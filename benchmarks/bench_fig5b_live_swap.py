@@ -1,0 +1,58 @@
+"""Fig. 5b - live swap of the MVNO scheduler (MT -> PF -> RR).
+
+Regenerates the figure's per-phase, per-UE rates and asserts the paper's
+qualitative claims.  The timed kernel is the hot-swap operation itself
+(decode + sanitize + instantiate), which is what bounds how "live" a swap
+can be.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.abi import SchedulerPlugin
+from repro.experiments.fig5b import UE_MCS, run_fig5b
+from repro.plugins import plugin_wasm
+
+
+@pytest.mark.benchmark(group="fig5b")
+def test_fig5b_swap_latency(benchmark):
+    plugin = SchedulerPlugin.load(plugin_wasm("mt"), name="mvno")
+    binaries = [plugin_wasm("pf"), plugin_wasm("rr"), plugin_wasm("mt")]
+    state = {"i": 0}
+
+    def hot_swap():
+        state["i"] += 1
+        plugin.swap(binaries[state["i"] % 3])
+
+    benchmark(hot_swap)
+    assert plugin.host.generation > 0
+
+
+@pytest.mark.benchmark(group="fig5b")
+def test_fig5b_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig5b(phase_duration_s=4.0), rounds=1, iterations=1
+    )
+
+    rows = []
+    for phase in ("mt", "pf", "rr"):
+        means = result.phase_means[phase]
+        rows.append(
+            (phase.upper(),) + tuple(round(means[ue], 2) for ue in sorted(UE_MCS))
+        )
+    print_table(
+        "Fig. 5b: per-phase mean rate (Mb/s) for UEs at MCS 20/24/28",
+        ["phase", "MCS20", "MCS24", "MCS28"],
+        rows,
+    )
+    print_table(
+        "Fig. 5b: PF-phase dynamics (Mb/s)",
+        ["half", "MCS20", "MCS24", "MCS28"],
+        [
+            ("first",) + tuple(round(result.pf_first_half[u], 2) for u in sorted(UE_MCS)),
+            ("second",) + tuple(round(result.pf_second_half[u], 2) for u in sorted(UE_MCS)),
+        ],
+    )
+    checks = result.shape_holds()
+    print("shape checks:", checks)
+    assert all(checks.values()), checks

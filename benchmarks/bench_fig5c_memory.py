@@ -1,0 +1,44 @@
+"""Fig. 5c - memory increase under a continuous leak.
+
+Regenerates the figure: the same leak-every-slot bug run (a) inside a Wasm
+plugin and (b) natively on the host.  Shape: the plugin series is bounded
+by the sandbox's declared maximum; the native series grows linearly.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.experiments.fig5c import run_fig5c
+
+
+@pytest.mark.benchmark(group="fig5c")
+def test_fig5c_leak_confinement(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig5c(duration_s=10.0, sample_dt_s=1.0), rounds=1, iterations=1
+    )
+
+    rows = []
+    for (t, plugin_mib), (_t, native_mib) in zip(
+        result.plugin_series, result.native_series
+    ):
+        rows.append((round(t, 1), round(plugin_mib, 2), round(native_mib, 2)))
+    print_table(
+        "Fig. 5c: host memory increase (MiB) vs time (s)",
+        ["t (s)", "leak in plugin", "leak native"],
+        rows,
+    )
+    assert result.plugin_is_bounded(cap_mib=8.0)
+    assert result.native_grows_linearly()
+    assert result.final_native_mib() > 4 * result.final_plugin_mib()
+
+
+@pytest.mark.benchmark(group="fig5c")
+def test_fig5c_leak_slot_cost(benchmark):
+    """Cost of one slot with the leaky plugin attached (is leaking cheap?)."""
+    from repro.experiments.fig5c import _build_gnb
+    from repro.abi import SchedulerPlugin
+    from repro.plugins import plugin_wasm
+
+    gnb = _build_gnb()
+    gnb.slices[1].use_plugin(SchedulerPlugin.load(plugin_wasm("leaky"), name="leaky"))
+    benchmark(gnb.step)

@@ -1,0 +1,62 @@
+"""Fig. 5d - plugin execution time (p50/p99, incl. serialization).
+
+Regenerates the figure's bars: MT/RR/PF plugins at 1/10/20 connected UEs,
+50th and 99th percentile execution time against the 1000 us slot.
+
+Honesty note: the paper measures wasmtime-JIT'd plugins on an i7; we
+measure a pure-Python interpreter.  What must (and does) hold is the
+shape - time grows with UE count, the per-call cost is stable enough to
+schedule every slot, and single-UE calls sit well under the slot deadline.
+The absolute 20-UE p99 exceeds 1000 us here; EXPERIMENTS.md quantifies the
+interpreter-vs-JIT factor this implies.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.experiments.fig5d import make_ues, measure_plugin, run_fig5d
+from repro.abi import SchedulerPlugin
+from repro.plugins import plugin_wasm
+
+
+@pytest.mark.benchmark(group="fig5d")
+@pytest.mark.parametrize("plugin_name", ["mt", "rr", "pf"])
+@pytest.mark.parametrize("n_ues", [1, 10, 20])
+def test_fig5d_plugin_call(benchmark, plugin_name, n_ues):
+    """pytest-benchmark timing of one plugin scheduling call."""
+    plugin = SchedulerPlugin.load(plugin_wasm(plugin_name), name=plugin_name)
+    plugin.host.limits.fuel = 10_000_000
+    ues = make_ues(n_ues)
+    slot = [0]
+
+    def call():
+        slot[0] += 1
+        return plugin.schedule(52, ues, slot[0])
+
+    result = benchmark(call)
+    assert result.grants or all(u.buffer_bytes == 0 for u in ues)
+
+
+@pytest.mark.benchmark(group="fig5d")
+def test_fig5d_quantile_table(benchmark):
+    """The figure itself: p50/p99 per plugin per UE count."""
+    result = benchmark.pedantic(lambda: run_fig5d(calls=400), rounds=1, iterations=1)
+    print_table(
+        "Fig. 5d: plugin execution time (us), slot = 1000 us",
+        ["plugin", "UEs", "p50", "p99", "mean"],
+        [
+            (p, n, round(p50, 1), round(p99, 1), round(mean, 1))
+            for p, n, p50, p99, mean in result.rows()
+        ],
+    )
+    # shape criteria that survive the interpreter substitution.  p50 is the
+    # robust statistic here: on a loaded CI box, OS preemption injects
+    # multi-millisecond outliers into p99 regardless of the workload.
+    assert result.grows_with_ues()
+    single_ue = [c for c in result.cells if c.n_ues == 1]
+    assert all(c.p50_us < result.slot_duration_us for c in single_ue), (
+        "single-UE p50 must sit inside the slot even on the interpreter"
+    )
+    assert all(c.p99_us < 10 * result.slot_duration_us for c in single_ue), (
+        "single-UE p99 should stay within an order of magnitude of the slot"
+    )

@@ -1,0 +1,95 @@
+"""Microbenchmarks of the Wasm substrate itself.
+
+Not tied to a paper figure; these pin the interpreter's basic costs so
+regressions in the runtime show up independently of the scheduler stack.
+"""
+
+import pytest
+
+from repro.wasm import Instance, decode_module
+from repro.wasm.wat import assemble
+
+LOOP_SUM = """
+(module (func (export "sum") (param $n i32) (result i32)
+  (local $i i32) (local $acc i32)
+  (block $exit (loop $top
+    (br_if $exit (i32.ge_s (local.get $i) (local.get $n)))
+    (local.set $acc (i32.add (local.get $acc) (local.get $i)))
+    (local.set $i (i32.add (local.get $i) (i32.const 1)))
+    (br $top)))
+  (local.get $acc)))
+"""
+
+FIB = """
+(module (func $fib (export "fib") (param i32) (result i32)
+  (if (result i32) (i32.lt_s (local.get 0) (i32.const 2))
+    (then (local.get 0))
+    (else (i32.add (call $fib (i32.sub (local.get 0) (i32.const 1)))
+                   (call $fib (i32.sub (local.get 0) (i32.const 2))))))))
+"""
+
+MEMCPY = """
+(module (memory 2)
+  (func (export "copy") (param $n i32)
+    (local $i i32)
+    (block $exit (loop $top
+      (br_if $exit (i32.ge_u (local.get $i) (local.get $n)))
+      (i32.store8 offset=65536 (local.get $i)
+        (i32.load8_u (local.get $i)))
+      (local.set $i (i32.add (local.get $i) (i32.const 1)))
+      (br $top)))))
+"""
+
+
+@pytest.mark.benchmark(group="micro-wasm")
+def test_interpreter_arith_loop(benchmark):
+    inst = Instance(decode_module(assemble(LOOP_SUM)))
+    assert benchmark(inst.call, "sum", 1000) == 499500
+
+
+@pytest.mark.benchmark(group="micro-wasm")
+def test_interpreter_call_heavy(benchmark):
+    inst = Instance(decode_module(assemble(FIB)))
+    assert benchmark(inst.call, "fib", 12) == 144
+
+
+@pytest.mark.benchmark(group="micro-wasm")
+def test_interpreter_memory_loop(benchmark):
+    inst = Instance(decode_module(assemble(MEMCPY)))
+    benchmark(inst.call, "copy", 512)
+
+
+@pytest.mark.benchmark(group="micro-wasm")
+def test_interpreter_fuel_overhead(benchmark):
+    """Same loop with metering on: the per-instruction fuel tax."""
+    inst = Instance(decode_module(assemble(LOOP_SUM)))
+    assert benchmark(inst.call, "sum", 1000, fuel=10_000_000) == 499500
+
+
+@pytest.mark.benchmark(group="micro-wasm")
+def test_decode_validate_instantiate(benchmark):
+    """The load path a hot swap pays."""
+    from repro.plugins import plugin_wasm
+
+    raw = plugin_wasm("pf")
+
+    def load():
+        return Instance(decode_module(raw), imports=_env())
+
+    def _env():
+        from repro.abi.hostfuncs import make_env
+
+        return {"env": make_env()}
+
+    inst = benchmark(load)
+    assert "run" in inst.export_names()
+
+
+@pytest.mark.benchmark(group="micro-wasm")
+def test_wacc_compile(benchmark):
+    from repro.plugins import plugin_source
+    from repro.wacc import compile_source
+
+    source = plugin_source("pf")
+    raw = benchmark(compile_source, source)
+    assert raw[:4] == b"\x00asm"

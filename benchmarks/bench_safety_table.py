@@ -1,0 +1,49 @@
+"""§5D - the memory-safety table.
+
+Null deref / OOB / double free, each in a plugin (trap caught, host lives)
+and natively (process dies).  The timed kernel is trap-catch-recover: how
+much a fault costs the gNB when it happens inside the sandbox.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.abi import SchedulerPlugin
+from repro.abi.host import PluginError
+from repro.experiments.safety import run_safety_table
+from repro.plugins import plugin_wasm
+from repro.sched import UeSchedInfo
+
+
+@pytest.mark.benchmark(group="safety")
+def test_safety_table(benchmark):
+    result = benchmark.pedantic(run_safety_table, rounds=1, iterations=1)
+    print_table(
+        "§5D: memory-safety comparison",
+        ["fault", "in Wasm plugin", "host alive", "native", "process alive"],
+        [
+            (r.fault, r.plugin_outcome, r.plugin_host_alive, r.native_outcome,
+             r.native_process_alive)
+            for r in result.rows
+        ],
+    )
+    assert result.sandbox_always_survives()
+    assert result.native_always_dies()
+
+
+@pytest.mark.benchmark(group="safety")
+def test_safety_trap_recovery_cost(benchmark):
+    """Cost of one trapped call (fault + catch), the §6A recovery path."""
+    plugin = SchedulerPlugin.load(plugin_wasm("fault_null"), name="fault")
+    ues = [UeSchedInfo(1, 10, 7, 1000, 0.0)]
+    slot = [0]
+
+    def trap_and_catch():
+        slot[0] += 1
+        try:
+            plugin.schedule(52, ues, slot[0])
+        except PluginError:
+            return True
+        return False
+
+    assert benchmark(trap_and_catch)

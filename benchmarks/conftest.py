@@ -1,0 +1,30 @@
+"""Shared fixtures and report helpers for the benchmark harness.
+
+Every bench prints the rows/series the corresponding paper figure reports,
+then asserts the *shape* criteria from DESIGN.md §3.  Absolute numbers are
+a pure-Python interpreter's, not the paper's NUC + wasmtime testbed;
+EXPERIMENTS.md records the comparison.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

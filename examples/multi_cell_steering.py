@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Multi-cell traffic steering with A1 policy control.
+
+Two gNBs, one near-RT RIC, one non-RT RIC (SMO).  A UE sits at the cell
+edge: its serving cell 1 is poor (MCS ~4), cell 2 would be excellent.
+The traffic-steering xApp - a Wasm plugin in the RIC - watches the E2
+measurement reports and orders the handover; the topology executes it.
+
+Then the operator pushes an A1 steering policy that raises the A3
+hysteresis so high that a second, marginal UE is *not* moved - showing
+the SMO tuning a running Wasm xApp without redeploying anything.
+
+Run: python examples/multi_cell_steering.py
+"""
+
+from repro.abi import SchedulerPlugin
+from repro.channel import FixedMcsChannel
+from repro.e2 import vendors
+from repro.gnb import GnbHost, SliceRuntime, UeContext
+from repro.plugins import plugin_wasm
+from repro.ric import MSG_UE_MEAS
+from repro.ric.a1 import NonRtRic, POLICY_STEERING
+from repro.ric.steering import TwoCellTopology
+from repro.sched import TargetRateInterSlice
+from repro.traffic import FullBufferSource
+
+
+def make_cell() -> GnbHost:
+    gnb = GnbHost(inter_slice=TargetRateInterSlice({1: 20e6}, slot_duration_s=1e-3))
+    runtime = gnb.add_slice(SliceRuntime(1, "tenant"))
+    runtime.use_plugin(SchedulerPlugin.load(plugin_wasm("pf"), name="pf"))
+    return gnb
+
+
+def main() -> None:
+    topo = TwoCellTopology(make_cell(), make_cell(), vendors.vendor_a())
+    topo.ric.load_xapp("ts", plugin_wasm("xapp_ts"), (MSG_UE_MEAS,))
+    # attach A1 so the SMO can steer the steering
+    a1_ep = topo.network.endpoint("ric-a1")
+    from repro.ric.a1 import A1Endpoint, A1PolicyStore  # noqa: F401
+
+    topo.ric.a1 = A1Endpoint(a1_ep)
+    nonrt = NonRtRic(topo.network.endpoint("smo"))
+    topo.connect(period_slots=50)
+
+    edge_ue = UeContext(
+        1, 1, FixedMcsChannel(4), FullBufferSource(),
+        neighbor_cell=2, neighbor_channel=FixedMcsChannel(26),
+    )
+    topo.attach(edge_ue, 1)
+    print("UE 1 attached to cell 1 at MCS 4; cell 2 would give it MCS 26")
+
+    topo.run(200)
+    for event in topo.handovers:
+        print(f"slot {event.slot}: RIC steered UE {event.ue_id} "
+              f"cell {event.source_cell} -> cell {event.target_cell}")
+    rate = edge_ue.buffer.delivered_bytes * 8 / (topo.cells[2].now_s or 1) / 1e6
+    print(f"UE 1 now served by cell {2 if 1 in topo.cells[2].ues else 1} "
+          f"at MCS {edge_ue.current_mcs} (avg {rate:.1f} Mb/s so far)\n")
+
+    # marginal UE: neighbour only +3 CQI better
+    marginal = UeContext(
+        2, 1, FixedMcsChannel(16), FullBufferSource(),
+        neighbor_cell=2, neighbor_channel=FixedMcsChannel(22),
+    )
+    topo.attach(marginal, 1)
+    print("UE 2 attached to cell 1 (marginal: neighbour is only a bit better)")
+
+    print("SMO pushes A1 steering policy: hysteresis = 6 (conservative)")
+    nonrt.create_policy("ric-a1", POLICY_STEERING, {"hysteresis": 6})
+    before = len(topo.handovers)
+    topo.run(300)
+    moved = len(topo.handovers) - before
+    print(f"handovers after the policy: {moved} "
+          f"(UE 2 stays on cell 1: {2 in topo.cells[1].ues})")
+
+    print("\nSMO relaxes the policy: hysteresis = 1 (aggressive)")
+    nonrt.create_policy("ric-a1", POLICY_STEERING, {"hysteresis": 1})
+    topo.run(300)
+    for event in topo.handovers[before:]:
+        print(f"slot {event.slot}: RIC steered UE {event.ue_id} "
+              f"cell {event.source_cell} -> cell {event.target_cell}")
+    print(f"UE 2 served by cell 2 now: {2 in topo.cells[2].ues}")
+
+
+if __name__ == "__main__":
+    main()

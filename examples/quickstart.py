@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""WA-RAN quickstart: the full pipeline in one page.
+
+1. Write an intra-slice scheduler in WACC (the high-level plugin language).
+2. Compile it to standard WebAssembly bytes.
+3. Sanitize + load it into a sandboxed plugin host.
+4. Ask it to schedule a slot and inspect the grants.
+5. Crash it on purpose and watch the host survive.
+
+Run: python examples/quickstart.py
+"""
+
+from repro.abi import SchedulerPlugin, sanitize_plugin
+from repro.abi.host import PluginError
+from repro.plugins import plugin_source
+from repro.sched import UeSchedInfo
+from repro.wacc import compile_source
+
+# A custom scheduler in WACC: first-come-first-served by ue_id.  Real
+# MVNOs would ship rr/pf/mt (src/repro/plugins/*.wc), but writing your own
+# is the point of WA-RAN.
+CUSTOM = """
+// First-come-first-served: serve UEs in ue_id order until PRBs run out.
+export fn run(ptr: i32, len: i32) -> i32 {
+    parse_header(ptr, len);
+    emit_reset();
+    let remaining: i32 = alloc_prbs;
+    let i: i32 = 0;
+    while (i < n_ues) {
+        if (remaining <= 0) { break; }
+        if (ue_buffer(i) > 0) {
+            let need: i32 = prbs_for_bytes(ue_buffer(i), ue_mcs(i));
+            let take: i32 = need;
+            if (take > remaining) { take = remaining; }
+            emit_grant(ue_id(i), take);
+            remaining = remaining - take;
+        }
+        i = i + 1;
+    }
+    return 49152;
+}
+"""
+
+
+def main() -> None:
+    # Compose with the shared plugin prelude (ABI helpers), then compile.
+    from repro.plugins import plugin_source as src
+
+    prelude = src("rr").split("// Round Robin")[0]  # just the prelude part
+    wasm_bytes = compile_source(prelude + CUSTOM)
+    print(f"compiled custom scheduler: {len(wasm_bytes)} bytes of Wasm")
+
+    # 2. Pre-deployment static analysis (what an MNO runs on MVNO code).
+    report = sanitize_plugin(wasm_bytes)
+    print(f"sanitizer: {report.n_funcs} funcs, imports={report.imports_used}, "
+          f"memory {report.memory_min_pages}..{report.memory_max_pages} pages")
+
+    # 3. Load into the sandbox.
+    plugin = SchedulerPlugin.load(wasm_bytes, name="fcfs")
+
+    # 4. Schedule one slot: 52 PRBs across three UEs.
+    ues = [
+        UeSchedInfo(ue_id=7, mcs=28, cqi=15, buffer_bytes=50_000, avg_tput_bps=5e6),
+        UeSchedInfo(ue_id=3, mcs=20, cqi=11, buffer_bytes=80_000, avg_tput_bps=1e6),
+        UeSchedInfo(ue_id=5, mcs=24, cqi=13, buffer_bytes=10_000, avg_tput_bps=3e6),
+    ]
+    call = plugin.schedule(52, ues, slot=0)
+    print(f"\nscheduling 52 PRBs took {call.elapsed_us:.1f} us "
+          f"({call.fuel_used} instructions):")
+    for grant in call.grants:
+        print(f"  UE {grant.ue_id}: {grant.prbs} PRBs")
+
+    # 5. Sandboxing: a plugin that dereferences NULL cannot hurt the host.
+    from repro.plugins import plugin_wasm
+
+    bad = SchedulerPlugin.load(plugin_wasm("fault_null"), name="bad")
+    try:
+        bad.schedule(52, ues, slot=1)
+    except PluginError as exc:
+        print(f"\nfaulty plugin trapped safely: {exc}")
+    call = plugin.schedule(52, ues, slot=2)
+    print(f"host still scheduling fine: {len(call.grants)} grants")
+
+
+if __name__ == "__main__":
+    main()

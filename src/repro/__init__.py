@@ -1,0 +1,54 @@
+"""WA-RAN: WebAssembly plugin hosting for 5G Open-RAN.
+
+A reproduction of "Towards Seamless 5G Open-RAN Integration with
+WebAssembly" (HotNets '24), built entirely from scratch: the Wasm runtime,
+the plugin language and toolchain, the 5G RAN substrate, the E2/RIC stack,
+and the benchmark harness that regenerates the paper's evaluation.
+
+Subpackage map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.wasm` - WebAssembly MVP runtime (the sandbox)
+- :mod:`repro.wacc` - the plugin language and compiler
+- :mod:`repro.abi` - plugin ABI, host, sanitizer
+- :mod:`repro.phy` / :mod:`repro.channel` / :mod:`repro.traffic` - 5G substrate
+- :mod:`repro.sched` / :mod:`repro.gnb` - two-level slicing scheduler + gNB host
+- :mod:`repro.core5g` - AMF-lite
+- :mod:`repro.netio` / :mod:`repro.codecs` / :mod:`repro.cryptolite` - transport stack
+- :mod:`repro.e2` / :mod:`repro.ric` - E2-lite, near-RT RIC, xApps, A1, rApps
+- :mod:`repro.plugins` - the shipped WACC plugin sources
+- :mod:`repro.experiments` - one driver per paper figure
+- :mod:`repro.cli` - the ``python -m repro`` command line
+
+Quick start::
+
+    from repro.abi import SchedulerPlugin
+    from repro.plugins import plugin_wasm
+    from repro.sched import UeSchedInfo
+
+    plugin = SchedulerPlugin.load(plugin_wasm("pf"))
+    ues = [UeSchedInfo(1, 28, 15, 100_000, 5e6)]
+    print(plugin.schedule(52, ues, slot=0).grants)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "wasm",
+    "wacc",
+    "abi",
+    "phy",
+    "channel",
+    "traffic",
+    "sched",
+    "gnb",
+    "core5g",
+    "netio",
+    "codecs",
+    "cryptolite",
+    "e2",
+    "ric",
+    "plugins",
+    "experiments",
+    "metrics",
+    "hostsim",
+]

@@ -1,0 +1,44 @@
+"""The WA-RAN plugin ABI: how hosts and Wasm plugins exchange data.
+
+Modelled on Extism's byte-buffer convention (the toolkit the paper's
+prototype uses): the host serializes the call input, copies it into the
+plugin's linear memory at an address the plugin's exported ``alloc``
+returns, invokes the exported entry point with ``(ptr, len)``, and reads
+the result back out of plugin memory.  All host capabilities are explicit
+``env.*`` imports.
+
+Modules:
+
+- :mod:`repro.abi.wire` - the binary layout of scheduler inputs/outputs;
+- :mod:`repro.abi.host` - :class:`PluginHost` (load / call / hot-swap /
+  fuel / deadline / timing) and :class:`SchedulerPlugin`;
+- :mod:`repro.abi.hostfuncs` - the ``env`` host-function set a gNB exposes;
+- :mod:`repro.abi.sanitizer` - pre-deployment static checks (§3A: "MNOs
+  can perform static analysis on the MVNO scheduler plugin before
+  deployment").
+"""
+
+from repro.abi.host import PluginCallResult, PluginHost, SchedulerPlugin
+from repro.abi.sanitizer import SanitizerError, sanitize_plugin
+from repro.abi.wire import (
+    SCHED_INPUT_HEADER,
+    SCHED_UE_STRIDE,
+    pack_sched_input,
+    unpack_grants,
+    unpack_sched_input,
+    pack_grants,
+)
+
+__all__ = [
+    "PluginHost",
+    "SchedulerPlugin",
+    "PluginCallResult",
+    "sanitize_plugin",
+    "SanitizerError",
+    "pack_sched_input",
+    "unpack_sched_input",
+    "pack_grants",
+    "unpack_grants",
+    "SCHED_INPUT_HEADER",
+    "SCHED_UE_STRIDE",
+]

@@ -1,0 +1,234 @@
+"""The WA-RAN plugin host.
+
+:class:`PluginHost` owns one loaded plugin instance and provides the
+operations the paper's design needs:
+
+- **load** with pre-deployment sanitization;
+- **call** with a fuel budget and a soft deadline, catching every trap so
+  a plugin fault can never take the host down (§5D);
+- **hot swap** - replace the plugin binary between calls without touching
+  the host (§5C's live scheduler change);
+- **timing** - every call is measured end-to-end *including serialization*,
+  matching how §5E measures execution time.
+
+:class:`SchedulerPlugin` layers the scheduler ABI on top: pack the slice
+state, run the plugin, unpack and validate the grants.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass, field
+
+from repro.abi import wire
+from repro.abi.hostfuncs import make_env
+from repro.abi.sanitizer import sanitize_plugin
+from repro.sched.types import UeGrant, UeSchedInfo
+from repro.wasm import Instance, decode_module
+from repro.wasm.instance import HostFunc, Store
+from repro.wasm.traps import Trap, WasmError
+
+
+class PluginError(RuntimeError):
+    """The plugin misbehaved: trapped, broke the ABI, or overran limits."""
+
+    def __init__(self, message: str, kind: str = "error"):
+        super().__init__(message)
+        self.kind = kind  # 'trap' | 'fuel' | 'abi' | 'deadline' | 'load'
+
+
+@dataclass
+class PluginCallResult:
+    """Outcome of one plugin invocation."""
+
+    output: bytes
+    elapsed_us: float
+    fuel_used: int | None
+
+
+@dataclass
+class HostLimits:
+    """Per-call resource policy."""
+
+    fuel: int | None = 2_000_000
+    deadline_us: float | None = None  # checked after the call (soft deadline)
+    max_output_bytes: int = 1 << 16
+
+
+class PluginHost:
+    """Loads and runs one Wasm plugin with Extism-style byte-buffer calls."""
+
+    def __init__(
+        self,
+        wasm_bytes: bytes,
+        name: str = "plugin",
+        limits: HostLimits | None = None,
+        sanitize: bool = True,
+        extra_hostfuncs: dict[str, HostFunc] | None = None,
+        log_sink=None,
+        output_record_bytes: int = 8,
+        allowed_imports: frozenset[str] | None = None,
+        required_exports: dict | None = None,
+    ):
+        self.name = name
+        self.limits = limits or HostLimits()
+        self._sanitize = sanitize
+        self._extra_hostfuncs = extra_hostfuncs
+        self._log_sink = log_sink
+        self.output_record_bytes = output_record_bytes
+        self._allowed_imports = allowed_imports
+        self._required_exports = required_exports
+        self.generation = 0
+        self.instance: Instance | None = None
+        self._load(wasm_bytes)
+
+    # ----- lifecycle ---------------------------------------------------------
+
+    def _load(self, wasm_bytes: bytes) -> None:
+        if self._sanitize:
+            kwargs = {}
+            if self._allowed_imports is not None:
+                kwargs["allowed_imports"] = self._allowed_imports
+            if self._required_exports is not None:
+                kwargs["required_exports"] = self._required_exports
+            sanitize_plugin(wasm_bytes, **kwargs)
+        try:
+            module = decode_module(wasm_bytes)
+            env = make_env(log_sink=self._log_sink, extra=self._extra_hostfuncs)
+            self.instance = Instance(module, imports={"env": env}, store=Store())
+        except WasmError as exc:
+            raise PluginError(f"cannot load plugin {self.name}: {exc}", "load") from exc
+        self.wasm_bytes = wasm_bytes
+
+    def swap(self, wasm_bytes: bytes) -> int:
+        """Replace the plugin binary (hot swap).  Returns the new generation.
+
+        The old instance - including any state in its linear memory - is
+        dropped; the new plugin starts fresh.  The host itself (and every
+        other plugin) is untouched, which is what makes the paper's
+        on-the-fly scheduler change safe.
+        """
+        self._load(wasm_bytes)
+        self.generation += 1
+        return self.generation
+
+    # ----- invocation -----------------------------------------------------------
+
+    def call(self, input_bytes: bytes, entry: str = "run") -> PluginCallResult:
+        """One byte-buffer call: alloc, copy in, run, copy out.
+
+        Raises :class:`PluginError` for traps, fuel/deadline exhaustion and
+        ABI violations.  The elapsed time covers the full round trip
+        (serialization overhead included), mirroring §5E's methodology.
+        """
+        instance = self.instance
+        assert instance is not None
+        fuel = self.limits.fuel
+        start = time.perf_counter_ns()
+        try:
+            in_ptr = instance.call("alloc", len(input_bytes), fuel=fuel)
+            if in_ptr is None or in_ptr < 0:
+                raise PluginError(
+                    f"{self.name}: alloc returned bad pointer {in_ptr}", "abi"
+                )
+            instance.memory.write(in_ptr, input_bytes)
+            out_ptr = instance.call(entry, in_ptr, len(input_bytes), fuel="unset")
+            output = self._read_output(out_ptr)
+        except PluginError:
+            raise
+        except Trap as exc:
+            kind = "fuel" if exc.code == "fuel" else "trap"
+            raise PluginError(
+                f"{self.name}: plugin trapped: {exc} (code={exc.code})", kind
+            ) from exc
+        finally:
+            elapsed_us = (time.perf_counter_ns() - start) / 1000.0
+        fuel_used = None
+        if fuel is not None and instance.store.fuel is not None:
+            fuel_used = fuel - instance.store.fuel
+        if (
+            self.limits.deadline_us is not None
+            and elapsed_us > self.limits.deadline_us
+        ):
+            raise PluginError(
+                f"{self.name}: call took {elapsed_us:.1f}us, deadline "
+                f"{self.limits.deadline_us}us", "deadline",
+            )
+        return PluginCallResult(output, elapsed_us, fuel_used)
+
+    def _read_output(self, out_ptr) -> bytes:
+        instance = self.instance
+        assert instance is not None
+        if out_ptr is None or out_ptr < 0:
+            raise PluginError(f"{self.name}: run returned bad pointer {out_ptr}", "abi")
+        if out_ptr + 4 > len(instance.memory.data):
+            raise PluginError(f"{self.name}: output pointer out of bounds", "abi")
+        (count,) = struct.unpack_from("<I", instance.memory.data, out_ptr)
+        if count > 10_000:
+            raise PluginError(f"{self.name}: implausible record count {count}", "abi")
+        length = 4 + count * self.output_record_bytes
+        if length > self.limits.max_output_bytes:
+            raise PluginError(
+                f"{self.name}: output {length} bytes exceeds limit", "abi"
+            )
+        try:
+            return instance.memory.read(out_ptr, length)
+        except Trap as exc:
+            raise PluginError(f"{self.name}: output out of bounds: {exc}", "abi") from exc
+
+    # ----- diagnostics -----------------------------------------------------------
+
+    @property
+    def memory_pages(self) -> int:
+        assert self.instance is not None
+        return self.instance.memory.size_pages if self.instance.memory else 0
+
+    @property
+    def memory_bytes(self) -> int:
+        assert self.instance is not None
+        return self.instance.memory.size_bytes if self.instance.memory else 0
+
+
+@dataclass
+class SchedulerCall:
+    """Outcome of one intra-slice scheduling call through a plugin."""
+
+    grants: list[UeGrant]
+    elapsed_us: float
+    fuel_used: int | None
+
+
+class SchedulerPlugin:
+    """A :class:`PluginHost` speaking the scheduler ABI of §4A."""
+
+    def __init__(self, host: PluginHost):
+        self.host = host
+
+    @classmethod
+    def load(cls, wasm_bytes: bytes, name: str = "sched", **kwargs) -> "SchedulerPlugin":
+        return cls(PluginHost(wasm_bytes, name=name, **kwargs))
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    def swap(self, wasm_bytes: bytes) -> int:
+        return self.host.swap(wasm_bytes)
+
+    def schedule(
+        self, allocated_prbs: int, ues: list[UeSchedInfo], slot: int
+    ) -> SchedulerCall:
+        """Run the plugin's intra-slice scheduler for one slot.
+
+        Serialization, the Wasm call, deserialization and timing are all
+        included.  Grant *validation* is the caller's job (the gNB's fault
+        policy decides what to do with bad output).
+        """
+        payload = wire.pack_sched_input(slot, allocated_prbs, ues)
+        result = self.host.call(payload)
+        try:
+            grants = wire.unpack_grants(result.output)
+        except wire.WireError as exc:
+            raise PluginError(f"{self.name}: bad grant buffer: {exc}", "abi") from exc
+        return SchedulerCall(grants, result.elapsed_us, result.fuel_used)

@@ -1,0 +1,227 @@
+"""The ``waran`` command line: plugin toolchain + experiment runner.
+
+Usage (``python -m repro <command>``)::
+
+    python -m repro compile plugin.wc -o plugin.wasm   # WACC -> Wasm
+    python -m repro sanitize plugin.wasm               # deployment check
+    python -m repro disasm plugin.wasm                 # inspect a binary
+    python -m repro plugins                            # list shipped plugins
+    python -m repro fig5a [--duration 10]              # run an experiment
+    python -m repro fig5b | fig5c | fig5d | safety
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_compile(args) -> int:
+    from repro.wacc import WaccError, compile_source
+
+    source = open(args.source, encoding="utf-8").read()
+    try:
+        raw = compile_source(source, optimize=not args.no_opt)
+    except WaccError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    out = args.output or args.source.rsplit(".", 1)[0] + ".wasm"
+    with open(out, "wb") as f:
+        f.write(raw)
+    print(f"{args.source} -> {out} ({len(raw)} bytes)")
+    return 0
+
+
+def _cmd_sanitize(args) -> int:
+    from repro.abi import SanitizerError, sanitize_plugin
+
+    raw = open(args.binary, "rb").read()
+    try:
+        report = sanitize_plugin(raw)
+    except SanitizerError as exc:
+        print(f"REJECTED: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {report.n_funcs} functions, {report.n_exports} exports")
+    print(f"   imports: {report.imports_used or 'none'}")
+    print(f"   memory: {report.memory_min_pages}..{report.memory_max_pages} pages")
+    for warning in report.warnings:
+        print(f"   warning: {warning}")
+    return 0
+
+
+def _cmd_wat(args) -> int:
+    from repro.wasm import decode_module, validate_module
+    from repro.wasm.wat import WatError, assemble
+
+    source = open(args.source, encoding="utf-8").read()
+    try:
+        raw = assemble(source)
+        validate_module(decode_module(raw))
+    except (WatError, Exception) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    out = args.output or args.source.rsplit(".", 1)[0] + ".wasm"
+    with open(out, "wb") as f:
+        f.write(raw)
+    print(f"{args.source} -> {out} ({len(raw)} bytes)")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from repro.wasm.disasm import disassemble
+
+    try:
+        print(disassemble(open(args.binary, "rb").read()))
+    except BrokenPipeError:  # e.g. `waran disasm x.wasm | head`
+        pass
+    return 0
+
+
+def _cmd_plugins(args) -> int:
+    from repro.plugins import available_plugins, plugin_wasm
+
+    for name in available_plugins():
+        raw = plugin_wasm(name)
+        print(f"{name:16s} {len(raw):6d} bytes")
+    return 0
+
+
+def _cmd_fig5a(args) -> int:
+    from repro.experiments import run_fig5a
+
+    result = run_fig5a(duration_s=args.duration)
+    print(f"{'MVNO':12s} {'target':>8s} {'achieved':>9s} {'ratio':>6s}")
+    for name, target, achieved, ratio in result.rows():
+        print(f"{name:12s} {target:6.1f}Mb {achieved:7.2f}Mb {ratio:6.3f}")
+    print("all targets met" if result.all_targets_met() else "TARGETS MISSED")
+    return 0 if result.all_targets_met() else 1
+
+
+def _cmd_fig5b(args) -> int:
+    from repro.experiments import run_fig5b
+    from repro.experiments.asciiplot import render_series
+    from repro.experiments.fig5b import UE_MCS
+
+    result = run_fig5b(phase_duration_s=args.duration)
+    series = {
+        f"MCS{UE_MCS[ue]}": [(t, v / 1e6) for t, v in result.series[ue]]
+        for ue in sorted(UE_MCS)
+    }
+    print(render_series(series, y_label="Mb/s"))
+    print(f"\n(phases: MT 0..{args.duration:.0f}s, "
+          f"PF ..{2 * args.duration:.0f}s, RR ..{3 * args.duration:.0f}s)")
+    print("per-phase mean rates (Mb/s), UEs at MCS 20/24/28:")
+    for phase, means in result.phase_means.items():
+        print(f"  {phase.upper():3s}: " + "  ".join(
+            f"UE{u}={means[u]:5.2f}" for u in sorted(means)))
+    checks = result.shape_holds()
+    for check, ok in checks.items():
+        print(f"  [{'ok' if ok else 'FAIL'}] {check}")
+    return 0 if all(checks.values()) else 1
+
+
+def _cmd_fig5c(args) -> int:
+    from repro.experiments import run_fig5c
+
+    from repro.experiments.asciiplot import render_series
+
+    result = run_fig5c(duration_s=args.duration)
+    print(render_series(
+        {"leak in plugin": result.plugin_series,
+         "leak native": result.native_series},
+        y_label="MiB",
+    ))
+    print("\nhost memory increase (MiB): plugin vs native leak")
+    for (t, plugin_mib), (_t, native_mib) in zip(
+        result.plugin_series, result.native_series
+    ):
+        print(f"  t={t:5.1f}s  plugin={plugin_mib:6.2f}  native={native_mib:7.2f}")
+    ok = result.plugin_is_bounded() and result.native_grows_linearly()
+    return 0 if ok else 1
+
+
+def _cmd_fig5d(args) -> int:
+    from repro.experiments import run_fig5d
+
+    result = run_fig5d(calls=args.calls)
+    print(f"{'plugin':6s} {'UEs':>4s} {'p50 us':>8s} {'p99 us':>8s} {'mean us':>8s}")
+    for plugin, n_ues, p50, p99, mean in result.rows():
+        print(f"{plugin:6s} {n_ues:4d} {p50:8.1f} {p99:8.1f} {mean:8.1f}")
+    print(f"slot duration: {result.slot_duration_us:.0f} us; "
+          f"grows with UEs: {result.grows_with_ues()}")
+    return 0
+
+
+def _cmd_safety(args) -> int:
+    from repro.experiments import run_safety_table
+
+    result = run_safety_table()
+    for row in result.rows:
+        print(f"{row.fault:12s} plugin: {row.plugin_outcome:24s} "
+              f"host alive: {row.plugin_host_alive}")
+        print(f"{'':12s} native: {row.native_outcome:24s} "
+              f"process alive: {row.native_process_alive}")
+    ok = result.sandbox_always_survives() and result.native_always_dies()
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="waran", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile WACC source to Wasm")
+    p.add_argument("source")
+    p.add_argument("-o", "--output")
+    p.add_argument("--no-opt", action="store_true", help="disable inlining")
+    p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser("wat", help="assemble WAT text to Wasm")
+    p.add_argument("source")
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=_cmd_wat)
+
+    p = sub.add_parser("sanitize", help="pre-deployment plugin check")
+    p.add_argument("binary")
+    p.set_defaults(fn=_cmd_sanitize)
+
+    p = sub.add_parser("disasm", help="disassemble a Wasm binary")
+    p.add_argument("binary")
+    p.set_defaults(fn=_cmd_disasm)
+
+    p = sub.add_parser("plugins", help="list shipped plugins")
+    p.set_defaults(fn=_cmd_plugins)
+
+    p = sub.add_parser("fig5a", help="MVNO co-existence experiment")
+    p.add_argument("--duration", type=float, default=10.0)
+    p.set_defaults(fn=_cmd_fig5a)
+
+    p = sub.add_parser("fig5b", help="live scheduler swap experiment")
+    p.add_argument("--duration", type=float, default=8.0, help="per phase")
+    p.set_defaults(fn=_cmd_fig5b)
+
+    p = sub.add_parser("fig5c", help="memory leak confinement experiment")
+    p.add_argument("--duration", type=float, default=20.0)
+    p.set_defaults(fn=_cmd_fig5c)
+
+    p = sub.add_parser("fig5d", help="plugin execution time experiment")
+    p.add_argument("--calls", type=int, default=1000)
+    p.set_defaults(fn=_cmd_fig5d)
+
+    p = sub.add_parser("safety", help="memory-safety comparison table")
+    p.set_defaults(fn=_cmd_safety)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `waran plugins | head`
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os._exit(0)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

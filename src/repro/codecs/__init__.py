@@ -1,0 +1,34 @@
+"""Serialization codecs for WA-RAN communication plugins.
+
+The paper (§4B) lets operators pick the payload encoding for RIC <-> E2-node
+communication: ASN.1, JSON, or Protocol Buffers.  This package provides all
+three behind one :class:`Codec` interface:
+
+- :mod:`repro.codecs.pbwire` - a from-scratch implementation of the
+  protobuf wire format (varint/zigzag, tag-length-value fields);
+- :mod:`repro.codecs.asn1lite` - an ASN.1-PER-flavoured bit-packed codec
+  driven by a declarative schema (constrained integers occupy exactly the
+  bits their range requires);
+- :mod:`repro.codecs.jsoncodec` - stdlib JSON behind the same interface.
+
+It also provides :mod:`repro.codecs.bitadapt`, the field-width adaptation
+utility behind the paper's motivating example (vendor A speaks 8-bit power
+fields, vendor B expects 12-bit ones; an adapter plugin re-scales them).
+"""
+
+from repro.codecs.base import Codec, CodecError
+from repro.codecs.jsoncodec import JsonCodec
+from repro.codecs.pbwire import PbField, PbMessage, PbWireCodec
+from repro.codecs.asn1lite import Asn1Field, Asn1Schema, Asn1LiteCodec
+
+__all__ = [
+    "Codec",
+    "CodecError",
+    "JsonCodec",
+    "PbWireCodec",
+    "PbMessage",
+    "PbField",
+    "Asn1LiteCodec",
+    "Asn1Schema",
+    "Asn1Field",
+]

@@ -1,0 +1,184 @@
+"""ASN.1-PER-flavoured bit-packed codec.
+
+Real O-RAN E2AP messages are ASN.1 (aligned PER).  The defining property of
+PER - and the root of the paper's interoperability example - is that a
+constrained integer occupies *exactly* the bits its declared range needs:
+a ``power (0..255)`` field is 8 bits on the wire, a ``power (0..4095)``
+field is 12.  Two vendors disagreeing on the constraint produce
+incompatible encodings of "the same" message.  This module reproduces that
+behaviour with a declarative schema and a bit-level reader/writer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.codecs.base import Codec, CodecError
+
+
+class BitWriter:
+    """MSB-first bit stream writer."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def write(self, value: int, nbits: int) -> None:
+        if value < 0 or value >> nbits:
+            raise CodecError(f"value {value} does not fit in {nbits} bits")
+        for i in range(nbits - 1, -1, -1):
+            self._bits.append((value >> i) & 1)
+
+    def write_bytes(self, payload: bytes) -> None:
+        for byte in payload:
+            self.write(byte, 8)
+
+    def getvalue(self) -> bytes:
+        out = bytearray()
+        bits = self._bits
+        for i in range(0, len(bits), 8):
+            chunk = bits[i : i + 8]
+            chunk += [0] * (8 - len(chunk))  # pad final byte with zeros
+            byte = 0
+            for bit in chunk:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._bits)
+
+
+class BitReader:
+    """MSB-first bit stream reader."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0  # bit position
+
+    def read(self, nbits: int) -> int:
+        if self.pos + nbits > len(self.data) * 8:
+            raise CodecError("bit stream exhausted")
+        value = 0
+        for _ in range(nbits):
+            byte = self.data[self.pos // 8]
+            bit = (byte >> (7 - self.pos % 8)) & 1
+            value = (value << 1) | bit
+            self.pos += 1
+        return value
+
+    def read_bytes(self, n: int) -> bytes:
+        return bytes(self.read(8) for _ in range(n))
+
+
+@dataclass(frozen=True)
+class Asn1Field:
+    """A schema field: a constrained integer, boolean, or length-prefixed bytes.
+
+    ``lo``/``hi`` bound integers; the wire width is exactly
+    ``ceil(log2(hi - lo + 1))`` bits, as in PER.
+    """
+
+    name: str
+    kind: str  # 'int' | 'bool' | 'bytes'
+    lo: int = 0
+    hi: int = 0
+    optional: bool = False
+
+    @property
+    def width(self) -> int:
+        if self.kind == "bool":
+            return 1
+        span = self.hi - self.lo + 1
+        if span <= 1:
+            return 0
+        return (span - 1).bit_length()
+
+
+class Asn1Schema:
+    """An ordered field list; optional fields get a leading presence bitmap."""
+
+    def __init__(self, name: str, fields: list[Asn1Field]):
+        self.name = name
+        self.fields = list(fields)
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in {name}")
+        for f in fields:
+            if f.kind == "int" and f.hi < f.lo:
+                raise ValueError(f"{f.name}: hi < lo")
+
+    def encode(self, values: dict[str, Any]) -> bytes:
+        w = BitWriter()
+        for field in self.fields:
+            if field.optional:
+                w.write(1 if field.name in values else 0, 1)
+        for field in self.fields:
+            if field.optional and field.name not in values:
+                continue
+            if field.name not in values:
+                raise CodecError(f"missing required field {field.name}")
+            value = values[field.name]
+            if field.kind == "bool":
+                w.write(1 if value else 0, 1)
+            elif field.kind == "int":
+                if not field.lo <= value <= field.hi:
+                    raise CodecError(
+                        f"{field.name}={value} outside ({field.lo}..{field.hi})"
+                    )
+                w.write(value - field.lo, field.width)
+            elif field.kind == "bytes":
+                payload = bytes(value)
+                if len(payload) > 0xFFFF:
+                    raise CodecError(f"{field.name}: bytes too long")
+                w.write(len(payload), 16)
+                w.write_bytes(payload)
+            else:  # pragma: no cover
+                raise CodecError(f"unknown kind {field.kind}")
+        return w.getvalue()
+
+    def decode(self, payload: bytes) -> dict[str, Any]:
+        r = BitReader(payload)
+        present: dict[str, bool] = {}
+        for field in self.fields:
+            present[field.name] = bool(r.read(1)) if field.optional else True
+        values: dict[str, Any] = {}
+        for field in self.fields:
+            if not present[field.name]:
+                continue
+            if field.kind == "bool":
+                values[field.name] = bool(r.read(1))
+            elif field.kind == "int":
+                values[field.name] = r.read(field.width) + field.lo
+            else:
+                length = r.read(16)
+                values[field.name] = r.read_bytes(length)
+        return values
+
+    def bit_size(self, values: dict[str, Any]) -> int:
+        """Exact encoded size in bits (before byte padding)."""
+        bits = sum(1 for f in self.fields if f.optional)
+        for field in self.fields:
+            if field.optional and field.name not in values:
+                continue
+            if field.kind == "bool":
+                bits += 1
+            elif field.kind == "int":
+                bits += field.width
+            else:
+                bits += 16 + 8 * len(values[field.name])
+        return bits
+
+
+class Asn1LiteCodec(Codec):
+    name = "asn1lite"
+
+    def __init__(self, schema: Asn1Schema):
+        self.schema = schema
+
+    def encode(self, message: dict[str, Any]) -> bytes:
+        return self.schema.encode(message)
+
+    def decode(self, payload: bytes) -> dict[str, Any]:
+        return self.schema.decode(payload)

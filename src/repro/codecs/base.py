@@ -1,0 +1,30 @@
+"""Common codec interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+
+class CodecError(ValueError):
+    """Raised when encoding or decoding fails."""
+
+
+class Codec(ABC):
+    """Encode/decode a dict-shaped message to/from bytes.
+
+    All WA-RAN communication plugins move ``dict[str, value]`` messages;
+    the codec choice (JSON, pbwire, asn1lite) is a per-deployment decision,
+    exactly as §4B of the paper describes.
+    """
+
+    #: short identifier used in wire headers and registry lookups
+    name: str = "base"
+
+    @abstractmethod
+    def encode(self, message: dict[str, Any]) -> bytes:
+        """Serialize a message."""
+
+    @abstractmethod
+    def decode(self, payload: bytes) -> dict[str, Any]:
+        """Deserialize a message; raises :class:`CodecError` on bad input."""

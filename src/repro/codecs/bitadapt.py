@@ -1,0 +1,68 @@
+"""Field-width adaptation between vendor encodings.
+
+The paper's running interoperability example (§1, §3B): one vendor encodes
+a radio-power control field in 8 bits, another expects 12; the raw values
+are therefore on different scales and the devices cannot interoperate.  A
+WA-RAN adapter plugin sits between them and re-scales fields.
+
+This module provides the reference (host-side) implementation of that
+re-scaling, used both directly and as the oracle the Wasm adapter plugin is
+tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """A vendor's declared width for one numeric field, plus value range."""
+
+    name: str
+    bits: int
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.bits) - 1
+
+
+def widen(value: int, from_bits: int, to_bits: int) -> int:
+    """Re-scale a ``from_bits``-wide full-scale value to ``to_bits``.
+
+    Uses round-half-up proportional scaling so full scale maps to full
+    scale (255 @ 8 bits -> 4095 @ 12 bits) and 0 maps to 0.  This is how
+    a quantized physical quantity (e.g. output power) must be converted;
+    plain zero-padding would silently quarter the transmit power.
+    """
+    if not 0 <= value <= (1 << from_bits) - 1:
+        raise ValueError(f"value {value} does not fit in {from_bits} bits")
+    if from_bits == to_bits:
+        return value
+    from_max = (1 << from_bits) - 1
+    to_max = (1 << to_bits) - 1
+    return (value * to_max + from_max // 2) // from_max
+
+
+def narrow(value: int, from_bits: int, to_bits: int) -> int:
+    """Inverse direction: reduce field width, rounding to nearest."""
+    return widen(value, from_bits, to_bits)
+
+
+def adapt_message(
+    message: dict[str, int],
+    source: dict[str, FieldSpec],
+    target: dict[str, FieldSpec],
+) -> dict[str, int]:
+    """Re-scale every field of ``message`` from the source widths to the
+    target widths.  Fields unknown to either spec pass through unchanged.
+    """
+    out: dict[str, int] = {}
+    for key, value in message.items():
+        src = source.get(key)
+        dst = target.get(key)
+        if src is None or dst is None:
+            out[key] = value
+        else:
+            out[key] = widen(value, src.bits, dst.bits)
+    return out

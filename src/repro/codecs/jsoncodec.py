@@ -1,0 +1,56 @@
+"""JSON behind the common codec interface."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.codecs.base import Codec, CodecError
+
+
+class JsonCodec(Codec):
+    """UTF-8 JSON with deterministic key ordering.
+
+    Bytes values are not JSON-native; they are transported as lists of
+    integers under a ``{"__bytes__": [...]}`` wrapper so round-trips are
+    lossless (communication plugins ship binary payloads).
+    """
+
+    name = "json"
+
+    def encode(self, message: dict[str, Any]) -> bytes:
+        try:
+            return json.dumps(
+                _wrap(message), sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"cannot encode: {exc}") from None
+
+    def decode(self, payload: bytes) -> dict[str, Any]:
+        try:
+            obj = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CodecError(f"cannot decode: {exc}") from None
+        if not isinstance(obj, dict):
+            raise CodecError("top-level JSON value must be an object")
+        return _unwrap(obj)
+
+
+def _wrap(value: Any) -> Any:
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": list(value)}
+    if isinstance(value, dict):
+        return {k: _wrap(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_wrap(v) for v in value]
+    return value
+
+
+def _unwrap(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__bytes__"}:
+            return bytes(value["__bytes__"])
+        return {k: _unwrap(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_unwrap(v) for v in value]
+    return value

@@ -1,0 +1,270 @@
+"""Protocol-Buffers wire format, from scratch.
+
+Implements the protobuf encoding primitives (base-128 varints, ZigZag,
+wire types 0/1/2/5) and a schema-driven message codec compatible with the
+real wire format for the supported field types:
+
+- ``int64`` / ``sint64`` (varint, the latter ZigZag-coded)
+- ``bool`` (varint 0/1)
+- ``double`` (wire type 1, little-endian IEEE-754)
+- ``float`` (wire type 5)
+- ``string`` / ``bytes`` (length-delimited)
+- ``message`` (length-delimited nested message)
+- ``repeated`` variants of all of the above (packed for scalars)
+
+Unknown fields are skipped on decode, as protobuf requires - that is the
+forward-compatibility property that makes it attractive for multivendor
+interfaces.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+from repro.codecs.base import Codec, CodecError
+
+_WT_VARINT = 0
+_WT_64BIT = 1
+_WT_LEN = 2
+_WT_32BIT = 5
+
+_WIRE_TYPE_BY_KIND = {
+    "int64": _WT_VARINT,
+    "sint64": _WT_VARINT,
+    "bool": _WT_VARINT,
+    "double": _WT_64BIT,
+    "float": _WT_32BIT,
+    "string": _WT_LEN,
+    "bytes": _WT_LEN,
+    "message": _WT_LEN,
+}
+
+
+def write_varint(value: int) -> bytes:
+    """Encode a non-negative integer (< 2**64) as a protobuf varint."""
+    if value < 0:
+        value += 1 << 64  # protobuf encodes negative int64 as 10-byte varint
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CodecError("truncated varint")
+        if shift >= 70:
+            raise CodecError("varint too long")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result & ((1 << 64) - 1), pos
+        shift += 7
+
+
+def zigzag_encode(value: int) -> int:
+    return (value << 1) ^ (value >> 63)
+
+
+def zigzag_decode(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+@dataclass(frozen=True)
+class PbField:
+    """One field of a protobuf message schema."""
+
+    number: int
+    name: str
+    kind: str  # 'int64' | 'sint64' | 'bool' | 'double' | 'float' | 'string' | 'bytes' | 'message'
+    repeated: bool = False
+    message: "PbMessage | None" = None  # schema for kind == 'message'
+
+    def __post_init__(self):
+        if not 1 <= self.number <= 536_870_911:
+            raise ValueError(f"field number {self.number} out of range")
+        if self.kind not in _WIRE_TYPE_BY_KIND:
+            raise ValueError(f"unknown field kind {self.kind!r}")
+        if self.kind == "message" and self.message is None:
+            raise ValueError("message fields need a nested schema")
+
+
+class PbMessage:
+    """A message schema: an ordered set of :class:`PbField`."""
+
+    def __init__(self, name: str, fields: list[PbField]):
+        self.name = name
+        self.fields = list(fields)
+        numbers = [f.number for f in fields]
+        if len(set(numbers)) != len(numbers):
+            raise ValueError(f"duplicate field numbers in {name}")
+        self.by_number = {f.number: f for f in fields}
+        self.by_name = {f.name: f for f in fields}
+
+    # ----- encoding -----------------------------------------------------------
+
+    def encode(self, values: dict[str, Any]) -> bytes:
+        out = bytearray()
+        for field in self.fields:
+            if field.name not in values:
+                continue
+            value = values[field.name]
+            if field.repeated:
+                if field.kind in ("string", "bytes", "message"):
+                    for item in value:
+                        self._encode_single(out, field, item)
+                elif value:
+                    # packed scalar encoding
+                    packed = bytearray()
+                    for item in value:
+                        self._encode_scalar(packed, field, item)
+                    out += write_varint((field.number << 3) | _WT_LEN)
+                    out += write_varint(len(packed))
+                    out += packed
+            else:
+                self._encode_single(out, field, value)
+        return bytes(out)
+
+    def _encode_single(self, out: bytearray, field: PbField, value: Any) -> None:
+        wire_type = _WIRE_TYPE_BY_KIND[field.kind]
+        out += write_varint((field.number << 3) | wire_type)
+        if wire_type == _WT_LEN:
+            if field.kind == "string":
+                payload = str(value).encode("utf-8")
+            elif field.kind == "bytes":
+                payload = bytes(value)
+            else:
+                assert field.message is not None
+                payload = field.message.encode(value)
+            out += write_varint(len(payload))
+            out += payload
+        else:
+            self._encode_scalar(out, field, value)
+
+    @staticmethod
+    def _encode_scalar(out: bytearray, field: PbField, value: Any) -> None:
+        if field.kind == "int64":
+            out += write_varint(int(value))
+        elif field.kind == "sint64":
+            out += write_varint(zigzag_encode(int(value)))
+        elif field.kind == "bool":
+            out += write_varint(1 if value else 0)
+        elif field.kind == "double":
+            out += struct.pack("<d", float(value))
+        elif field.kind == "float":
+            out += struct.pack("<f", float(value))
+        else:  # pragma: no cover
+            raise CodecError(f"not a scalar kind: {field.kind}")
+
+    # ----- decoding -----------------------------------------------------------
+
+    def decode(self, data: bytes) -> dict[str, Any]:
+        values: dict[str, Any] = {}
+        pos = 0
+        while pos < len(data):
+            key, pos = read_varint(data, pos)
+            number, wire_type = key >> 3, key & 7
+            field = self.by_number.get(number)
+            if field is None:
+                pos = self._skip(data, pos, wire_type)
+                continue
+            expected = _WIRE_TYPE_BY_KIND[field.kind]
+            if wire_type == _WT_LEN and expected != _WT_LEN and field.repeated:
+                # packed repeated scalars
+                length, pos = read_varint(data, pos)
+                end = pos + length
+                if end > len(data):
+                    raise CodecError("truncated packed field")
+                items = values.setdefault(field.name, [])
+                while pos < end:
+                    value, pos = self._decode_scalar(data, pos, field)
+                    items.append(value)
+                continue
+            if wire_type != expected:
+                raise CodecError(
+                    f"field {field.name}: wire type {wire_type}, expected {expected}"
+                )
+            if wire_type == _WT_LEN:
+                length, pos = read_varint(data, pos)
+                end = pos + length
+                if end > len(data):
+                    raise CodecError("truncated length-delimited field")
+                raw = data[pos:end]
+                pos = end
+                if field.kind == "string":
+                    try:
+                        value = raw.decode("utf-8")
+                    except UnicodeDecodeError as exc:
+                        raise CodecError(f"bad utf-8 in {field.name}: {exc}") from None
+                elif field.kind == "bytes":
+                    value = raw
+                else:
+                    assert field.message is not None
+                    value = field.message.decode(raw)
+            else:
+                value, pos = self._decode_scalar(data, pos, field)
+            if field.repeated:
+                values.setdefault(field.name, []).append(value)
+            else:
+                values[field.name] = value  # last one wins, per proto3
+        return values
+
+    @staticmethod
+    def _decode_scalar(data: bytes, pos: int, field: PbField) -> tuple[Any, int]:
+        if field.kind in ("int64", "sint64", "bool"):
+            raw, pos = read_varint(data, pos)
+            if field.kind == "sint64":
+                return zigzag_decode(raw), pos
+            if field.kind == "bool":
+                return bool(raw), pos
+            # int64: interpret as two's complement
+            return raw - (1 << 64) if raw >= 1 << 63 else raw, pos
+        if field.kind == "double":
+            if pos + 8 > len(data):
+                raise CodecError("truncated double")
+            return struct.unpack_from("<d", data, pos)[0], pos + 8
+        if field.kind == "float":
+            if pos + 4 > len(data):
+                raise CodecError("truncated float")
+            return struct.unpack_from("<f", data, pos)[0], pos + 4
+        raise CodecError(f"not a scalar kind: {field.kind}")  # pragma: no cover
+
+    @staticmethod
+    def _skip(data: bytes, pos: int, wire_type: int) -> int:
+        if wire_type == _WT_VARINT:
+            _, pos = read_varint(data, pos)
+            return pos
+        if wire_type == _WT_64BIT:
+            return pos + 8
+        if wire_type == _WT_32BIT:
+            return pos + 4
+        if wire_type == _WT_LEN:
+            length, pos = read_varint(data, pos)
+            return pos + length
+        raise CodecError(f"cannot skip wire type {wire_type}")
+
+
+class PbWireCodec(Codec):
+    """A :class:`Codec` over one top-level :class:`PbMessage` schema."""
+
+    name = "pbwire"
+
+    def __init__(self, schema: PbMessage):
+        self.schema = schema
+
+    def encode(self, message: dict[str, Any]) -> bytes:
+        return self.schema.encode(message)
+
+    def decode(self, payload: bytes) -> dict[str, Any]:
+        return self.schema.decode(payload)

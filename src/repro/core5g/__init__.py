@@ -1,0 +1,17 @@
+"""Minimal 5G core: AMF-style registration and slice admission.
+
+The paper's testbed uses Open5GS with "admission control managed by a
+centralized AMF"; the experiments only require that UEs register, are
+admitted into a slice (S-NSSAI), and get a PDU session.  This package
+models exactly that much.
+"""
+
+from repro.core5g.amf import (
+    AdmissionError,
+    Amf,
+    PduSession,
+    Snssai,
+    UeRecord,
+)
+
+__all__ = ["Amf", "Snssai", "UeRecord", "PduSession", "AdmissionError"]

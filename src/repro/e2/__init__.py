@@ -1,0 +1,60 @@
+"""E2-lite: the RIC <-> gNB interface, WA-RAN style.
+
+The paper's position (§3B, §4B) is that the *standardised* E2 interface is
+where multivendor integration breaks, and that WA-RAN should wrap the wire
+protocol in plugins on both sides instead.  This package provides:
+
+- :mod:`repro.e2.messages` - an E2AP-flavoured message set (Setup,
+  Subscription, Indication, Control) with KPM-like report payloads and
+  RC-like control actions;
+- :mod:`repro.e2.vendors` - vendor profiles: each vendor picks its codec
+  (JSON / pbwire / asn1lite), optional AES-CTR payload encryption, and its
+  field widths (the 8-bit vs 12-bit power example);
+- :mod:`repro.e2.comm` - the communication channel that applies a vendor
+  profile to an endpoint, and the Wasm *adapter* that converts between
+  mismatched vendor field scales;
+- :mod:`repro.e2.node` - the E2-node agent embedded in a gNB: answers
+  subscriptions, streams KPM indications, executes control actions through
+  exposed gNB controls.
+"""
+
+from repro.e2.messages import (
+    MSG_CONTROL_ACK,
+    MSG_CONTROL_REQUEST,
+    MSG_INDICATION,
+    MSG_SETUP_REQUEST,
+    MSG_SETUP_RESPONSE,
+    MSG_SUBSCRIPTION_REQUEST,
+    MSG_SUBSCRIPTION_RESPONSE,
+    E2MessageError,
+    control_request,
+    indication,
+    setup_request,
+    subscription_request,
+    validate_message,
+)
+from repro.e2.vendors import VendorProfile, VENDOR_A, VENDOR_B
+from repro.e2.comm import CommChannel, WasmFieldAdapter
+from repro.e2.node import E2NodeAgent
+
+__all__ = [
+    "E2MessageError",
+    "MSG_SETUP_REQUEST",
+    "MSG_SETUP_RESPONSE",
+    "MSG_SUBSCRIPTION_REQUEST",
+    "MSG_SUBSCRIPTION_RESPONSE",
+    "MSG_INDICATION",
+    "MSG_CONTROL_REQUEST",
+    "MSG_CONTROL_ACK",
+    "setup_request",
+    "subscription_request",
+    "indication",
+    "control_request",
+    "validate_message",
+    "VendorProfile",
+    "VENDOR_A",
+    "VENDOR_B",
+    "CommChannel",
+    "WasmFieldAdapter",
+    "E2NodeAgent",
+]

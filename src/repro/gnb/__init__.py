@@ -1,0 +1,20 @@
+"""The WA-RAN gNB host.
+
+Integrates everything below it: the carrier (:mod:`repro.phy`), channels,
+traffic, the two-level scheduler (:mod:`repro.sched`), plugin hosting
+(:mod:`repro.abi`) and fault tolerance.  One :class:`GnbHost` runs the
+slot-synchronous MAC loop; slices attach either native schedulers or Wasm
+scheduler plugins and can hot-swap between them mid-run (§5C).
+"""
+
+from repro.gnb.fault import FaultAction, FaultEvent, FaultPolicy
+from repro.gnb.host import GnbHost, SliceRuntime, UeContext
+
+__all__ = [
+    "GnbHost",
+    "SliceRuntime",
+    "UeContext",
+    "FaultPolicy",
+    "FaultAction",
+    "FaultEvent",
+]

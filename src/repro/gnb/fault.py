@@ -1,0 +1,74 @@
+"""Plugin fault tolerance (paper §6A, implemented).
+
+"The gNB can switch to a default scheduler or disconnect the MVNO if their
+plugin is not behaving as expected."  :class:`FaultPolicy` implements that
+escalation ladder:
+
+1. every individual fault (trap, fuel/deadline exhaustion, ABI violation,
+   invalid grants) falls back to the slice's default native scheduler for
+   that slot - the slice's UEs never lose service;
+2. ``quarantine_after`` *consecutive* faults park the plugin: the default
+   scheduler serves the slice until an operator swaps a fixed plugin in;
+3. ``disconnect_after`` consecutive faults (if configured) drop the slice
+   entirely - the contractual remedy against a hostile MVNO.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FaultAction(enum.Enum):
+    FALLBACK = "fallback"  # use default scheduler this slot
+    QUARANTINE = "quarantine"  # stop calling the plugin until swapped
+    DISCONNECT = "disconnect"  # drop the slice
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    slot: int
+    slice_id: int
+    kind: str  # PluginError.kind or 'grants'
+    action: FaultAction
+    detail: str
+
+
+@dataclass
+class FaultPolicy:
+    quarantine_after: int = 3
+    disconnect_after: int | None = None
+
+    consecutive: dict[int, int] = field(default_factory=dict)
+    quarantined: set[int] = field(default_factory=set)
+    disconnected: set[int] = field(default_factory=set)
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def record_fault(self, slot: int, slice_id: int, kind: str, detail: str) -> FaultAction:
+        """Register a plugin fault; returns the action the gNB must take."""
+        count = self.consecutive.get(slice_id, 0) + 1
+        self.consecutive[slice_id] = count
+        if self.disconnect_after is not None and count >= self.disconnect_after:
+            action = FaultAction.DISCONNECT
+            self.disconnected.add(slice_id)
+        elif count >= self.quarantine_after:
+            action = FaultAction.QUARANTINE
+            self.quarantined.add(slice_id)
+        else:
+            action = FaultAction.FALLBACK
+        self.events.append(FaultEvent(slot, slice_id, kind, action, detail))
+        return action
+
+    def record_success(self, slice_id: int) -> None:
+        self.consecutive[slice_id] = 0
+
+    def is_quarantined(self, slice_id: int) -> bool:
+        return slice_id in self.quarantined
+
+    def is_disconnected(self, slice_id: int) -> bool:
+        return slice_id in self.disconnected
+
+    def release(self, slice_id: int) -> None:
+        """Operator action: a fixed plugin was swapped in; trust it again."""
+        self.quarantined.discard(slice_id)
+        self.consecutive[slice_id] = 0

@@ -1,0 +1,31 @@
+"""Native-host failure simulation (the §5D baseline).
+
+The paper's memory-safety experiment needs a *contrast*: the same buggy
+code that merely traps inside a Wasm sandbox must crash or corrupt when run
+natively on the gNB host.  Python cannot (usefully) segfault, so this
+package models the C execution environment the host would be written in:
+
+- :class:`UnsafeHeap` - a C heap with real undefined behaviour: null
+  dereference and out-of-bounds access raise :class:`SegmentationFault`;
+  double free corrupts the free list exactly the way glibc's fastbins do,
+  with the crash surfacing on a *later* allocation;
+- :class:`HostProcess` - wraps a workload and turns any
+  :class:`SegmentationFault` into a permanently dead process, the way a
+  real gNB binary dies;
+- :class:`HostMemoryModel` - an RSS model for the Fig. 5c leak experiment.
+"""
+
+from repro.hostsim.heap import (
+    HeapCorruption,
+    SegmentationFault,
+    UnsafeHeap,
+)
+from repro.hostsim.process import HostMemoryModel, HostProcess
+
+__all__ = [
+    "UnsafeHeap",
+    "SegmentationFault",
+    "HeapCorruption",
+    "HostProcess",
+    "HostMemoryModel",
+]

@@ -1,0 +1,21 @@
+"""Measurement substrate: accumulators, streaming quantiles, rate meters.
+
+The paper (§5E) measures plugin execution time with Boost Accumulators,
+reporting the 50th and 99th percentiles.  This package provides the same
+facility: a composable :class:`Accumulator` for count/mean/variance/min/max,
+the P-squared streaming quantile estimator (the algorithm Boost's
+``tail_quantile``-style accumulators approximate), an exact reservoir-based
+quantile for verification, windowed rate meters for throughput-vs-time
+plots, and a time-series recorder used by the experiment drivers.
+"""
+
+from repro.metrics.accumulators import Accumulator, ReservoirQuantile, StreamingQuantile
+from repro.metrics.rates import RateMeter, TimeSeries
+
+__all__ = [
+    "Accumulator",
+    "StreamingQuantile",
+    "ReservoirQuantile",
+    "RateMeter",
+    "TimeSeries",
+]

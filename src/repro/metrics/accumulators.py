@@ -1,0 +1,209 @@
+"""Statistical accumulators.
+
+:class:`Accumulator` collects count/sum/mean/variance/min/max in one pass
+(Welford's algorithm for numerical stability).  :class:`StreamingQuantile`
+implements the P-squared (P²) algorithm of Jain & Chlamtac (1985): an O(1)
+memory estimator of an arbitrary quantile, the same family of streaming
+estimators Boost Accumulators provides.  :class:`ReservoirQuantile` keeps
+an exact sample (optionally reservoir-subsampled) and is used both by tests
+to bound the P² error and by the benches when exactness matters more than
+memory.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import insort
+
+
+class Accumulator:
+    """One-pass count / mean / variance / min / max."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for fewer than 2 samples)."""
+        return self._m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "Accumulator") -> "Accumulator":
+        """Combine two accumulators (parallel Welford merge)."""
+        merged = Accumulator()
+        merged.count = self.count + other.count
+        if merged.count == 0:
+            return merged
+        merged.total = self.total + other.total
+        delta = other.mean - self.mean
+        merged.mean = self.mean + delta * other.count / merged.count
+        merged._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / merged.count
+        )
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"Accumulator(n={self.count}, mean={self.mean:.6g}, "
+            f"min={self.minimum:.6g}, max={self.maximum:.6g})"
+        )
+
+
+class StreamingQuantile:
+    """P² streaming estimator of one quantile in O(1) memory.
+
+    Follows Jain & Chlamtac, "The P² algorithm for dynamic calculation of
+    quantiles and histograms without storing observations", CACM 1985.
+    """
+
+    def __init__(self, quantile: float):
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+        self.quantile = quantile
+        self._initial: list[float] = []
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._increments: list[float] = []
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if len(self._initial) < 5:
+            insort(self._initial, value)
+            if len(self._initial) == 5:
+                q = self.quantile
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
+                self._increments = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+            return
+
+        h = self._heights
+        pos = self._positions
+
+        if value < h[0]:
+            h[0] = value
+            k = 0
+        elif value >= h[4]:
+            h[4] = value
+            k = 3
+        else:
+            k = 0
+            while value >= h[k + 1]:
+                k += 1
+
+        for i in range(k + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        for i in (1, 2, 3):
+            d = self._desired[i] - pos[i]
+            if (d >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                d <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                sign = 1.0 if d >= 0 else -1.0
+                candidate = self._parabolic(i, sign)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, sign)
+                pos[i] += sign
+
+    def _parabolic(self, i: int, sign: float) -> float:
+        h, pos = self._heights, self._positions
+        return h[i] + sign / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + sign)
+            * (h[i + 1] - h[i])
+            / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - sign)
+            * (h[i] - h[i - 1])
+            / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, sign: float) -> float:
+        h, pos = self._heights, self._positions
+        j = i + int(sign)
+        return h[i] + sign * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    @property
+    def value(self) -> float:
+        """The current quantile estimate."""
+        if self.count == 0:
+            raise ValueError("no samples")
+        if len(self._initial) < 5 or not self._heights:
+            index = min(
+                len(self._initial) - 1,
+                int(math.ceil(self.quantile * len(self._initial))) - 1,
+            )
+            return self._initial[max(index, 0)]
+        return self._heights[2]
+
+
+class ReservoirQuantile:
+    """Exact (or reservoir-subsampled) quantile computation.
+
+    Stores up to ``capacity`` samples; beyond that, applies Vitter's
+    reservoir sampling so the stored set stays uniform over the stream.
+    """
+
+    def __init__(self, capacity: int = 100_000, seed: int | None = 0):
+        self.capacity = capacity
+        self.samples: list[float] = []
+        self.count = 0
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if len(self.samples) < self.capacity:
+            self.samples.append(value)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < self.capacity:
+                self.samples[j] = value
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.add(value)
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile of the stored samples."""
+        if not self.samples:
+            raise ValueError("no samples")
+        data = sorted(self.samples)
+        if len(data) == 1:
+            return data[0]
+        rank = q * (len(data) - 1)
+        low = int(math.floor(rank))
+        high = min(low + 1, len(data) - 1)
+        frac = rank - low
+        return data[low] * (1 - frac) + data[high] * frac

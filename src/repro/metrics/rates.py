@@ -1,0 +1,95 @@
+"""Throughput meters and time-series recording for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class RateMeter:
+    """Windowed byte/bit-rate meter.
+
+    Accumulates byte counts against simulation time and reports the rate of
+    the most recent full window - the same shape as the per-second bitrate
+    series iperf3 prints and the paper plots in Fig. 5a/5b.
+    """
+
+    def __init__(self, window_s: float = 1.0):
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.window_s = window_s
+        self._window_start = 0.0
+        self._window_bytes = 0
+        self.history: list[tuple[float, float]] = []  # (window end time, bit/s)
+        self.total_bytes = 0
+
+    def add(self, now_s: float, nbytes: int) -> None:
+        """Record ``nbytes`` delivered at simulation time ``now_s``."""
+        self._roll(now_s)
+        self._window_bytes += nbytes
+        self.total_bytes += nbytes
+
+    def _roll(self, now_s: float) -> None:
+        while now_s >= self._window_start + self.window_s:
+            end = self._window_start + self.window_s
+            self.history.append((end, self._window_bytes * 8 / self.window_s))
+            self._window_bytes = 0
+            self._window_start = end
+
+    def finish(self, now_s: float) -> None:
+        """Flush any complete windows up to ``now_s``."""
+        self._roll(now_s)
+
+    def average_bps(self, duration_s: float) -> float:
+        """Mean bitrate over the whole run."""
+        return self.total_bytes * 8 / duration_s if duration_s > 0 else 0.0
+
+    def series(self) -> list[tuple[float, float]]:
+        return list(self.history)
+
+
+@dataclass
+class TimeSeries:
+    """A labelled (time, value) series with simple post-processing."""
+
+    label: str = ""
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def mean_between(self, t0: float, t1: float) -> float:
+        """Mean of samples with t0 <= t < t1."""
+        selected = [v for t, v in zip(self.times, self.values) if t0 <= t < t1]
+        if not selected:
+            raise ValueError(f"no samples in [{t0}, {t1})")
+        return sum(selected) / len(selected)
+
+    def last(self) -> float:
+        if not self.values:
+            raise ValueError("empty series")
+        return self.values[-1]
+
+    def downsample(self, bucket_s: float) -> "TimeSeries":
+        """Average into fixed buckets; returns a new series."""
+        if bucket_s <= 0:
+            raise ValueError("bucket must be positive")
+        out = TimeSeries(self.label)
+        if not self.times:
+            return out
+        bucket_start = self.times[0]
+        acc: list[float] = []
+        for t, v in zip(self.times, self.values):
+            while t >= bucket_start + bucket_s:
+                if acc:
+                    out.record(bucket_start + bucket_s / 2, sum(acc) / len(acc))
+                acc = []
+                bucket_start += bucket_s
+            acc.append(v)
+        if acc:
+            out.record(bucket_start + bucket_s / 2, sum(acc) / len(acc))
+        return out

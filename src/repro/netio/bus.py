@@ -1,0 +1,180 @@
+"""In-process and TCP-loopback message networks."""
+
+from __future__ import annotations
+
+import queue
+import socket
+import struct
+import threading
+from abc import ABC, abstractmethod
+
+from repro.netio.framing import read_frame, write_frame
+
+
+class NetworkError(RuntimeError):
+    """Endpoint resolution or delivery failure."""
+
+
+class Endpoint(ABC):
+    """A named mailbox that can send to other named mailboxes."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @abstractmethod
+    def send(self, dest: str, payload: bytes) -> None: ...
+
+    @abstractmethod
+    def recv(self, timeout: float | None = 0.0) -> tuple[str, bytes] | None:
+        """Next ``(source, payload)`` or ``None`` if none within ``timeout``."""
+
+    def drain(self) -> list[tuple[str, bytes]]:
+        """All currently queued messages."""
+        out = []
+        while True:
+            item = self.recv(timeout=0.0)
+            if item is None:
+                return out
+            out.append(item)
+
+
+# ---------------------------------------------------------------------------
+
+
+class _InProcEndpoint(Endpoint):
+    def __init__(self, network: "InProcNetwork", name: str):
+        super().__init__(name)
+        self._network = network
+        self._queue: queue.Queue = queue.Queue()
+
+    def send(self, dest: str, payload: bytes) -> None:
+        target = self._network._endpoints.get(dest)
+        if target is None:
+            raise NetworkError(f"no endpoint named {dest!r}")
+        target._queue.put((self.name, bytes(payload)))
+
+    def recv(self, timeout: float | None = 0.0) -> tuple[str, bytes] | None:
+        try:
+            if timeout == 0.0:
+                return self._queue.get_nowait()
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+
+class InProcNetwork:
+    """Queue-backed network: deterministic and dependency-free."""
+
+    def __init__(self) -> None:
+        self._endpoints: dict[str, _InProcEndpoint] = {}
+
+    def endpoint(self, name: str) -> Endpoint:
+        if name in self._endpoints:
+            raise NetworkError(f"endpoint {name!r} already exists")
+        ep = _InProcEndpoint(self, name)
+        self._endpoints[name] = ep
+        return ep
+
+
+# ---------------------------------------------------------------------------
+
+
+class _TcpEndpoint(Endpoint):
+    """One TCP listener per endpoint; outgoing connections cached."""
+
+    def __init__(self, network: "TcpNetwork", name: str):
+        super().__init__(name)
+        self._network = network
+        self._queue: queue.Queue = queue.Queue()
+        self._server = socket.create_server(("127.0.0.1", 0))
+        self.port = self._server.getsockname()[1]
+        self._out: dict[str, socket.socket] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+
+    # ----- receive side ---------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, _ = self._server.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._reader_loop, args=(conn,), daemon=True
+            ).start()
+
+    def _reader_loop(self, conn: socket.socket) -> None:
+        def recv_exact(n: int) -> bytes:
+            buf = b""
+            while len(buf) < n:
+                chunk = conn.recv(n - len(buf))
+                if not chunk:
+                    raise ConnectionError("peer closed")
+                buf += chunk
+            return buf
+
+        try:
+            while True:
+                self._queue.put(read_frame(recv_exact))
+        except (ConnectionError, OSError, ValueError):
+            conn.close()
+
+    # ----- send side --------------------------------------------------------
+
+    def send(self, dest: str, payload: bytes) -> None:
+        port = self._network._ports.get(dest)
+        if port is None:
+            raise NetworkError(f"no endpoint named {dest!r}")
+        frame = write_frame(self.name, payload)
+        with self._lock:
+            sock = self._out.get(dest)
+            if sock is None:
+                sock = socket.create_connection(("127.0.0.1", port), timeout=5)
+                self._out[dest] = sock
+            try:
+                sock.sendall(frame)
+            except OSError:
+                # reconnect once (peer may have restarted)
+                sock.close()
+                sock = socket.create_connection(("127.0.0.1", port), timeout=5)
+                self._out[dest] = sock
+                sock.sendall(frame)
+
+    def recv(self, timeout: float | None = 0.0) -> tuple[str, bytes] | None:
+        try:
+            if timeout == 0.0:
+                return self._queue.get_nowait()
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def close(self) -> None:
+        self._closed = True
+        self._server.close()
+        with self._lock:
+            for sock in self._out.values():
+                sock.close()
+            self._out.clear()
+
+
+class TcpNetwork:
+    """Localhost TCP network with the same interface as :class:`InProcNetwork`."""
+
+    def __init__(self) -> None:
+        self._ports: dict[str, int] = {}
+        self._endpoints: dict[str, _TcpEndpoint] = {}
+
+    def endpoint(self, name: str) -> Endpoint:
+        if name in self._ports:
+            raise NetworkError(f"endpoint {name!r} already exists")
+        ep = _TcpEndpoint(self, name)
+        self._ports[name] = ep.port
+        self._endpoints[name] = ep
+        return ep
+
+    def close(self) -> None:
+        for ep in self._endpoints.values():
+            ep.close()

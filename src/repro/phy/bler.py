@@ -1,0 +1,66 @@
+"""Block-error-rate model and HARQ-style accounting.
+
+Link adaptation targets ~10% BLER at the MCS matched to the reported CQI
+(38.214 CQI definition: "the highest CQI such that the transport block
+error probability does not exceed 0.1").  Scheduling *above* the channel's
+supported MCS raises the error probability steeply; below it, coding gain
+drives errors toward zero.  This module provides that curve plus a
+per-transport-block Bernoulli draw.
+
+The gNB uses it (optionally) per grant: an errored TB delivers nothing and
+the bytes stay in the RLC buffer - which is exactly a retransmission at
+the next scheduling opportunity.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.phy.mcs import cqi_to_mcs
+
+#: BLER at the link-adapted operating point (the 38.214 target)
+TARGET_BLER = 0.1
+
+#: multiplicative error growth per MCS step above the supported one
+_STEEPNESS = 2.5
+
+#: error decay per MCS step below the supported one
+_BACKOFF = 0.25
+
+
+def bler(mcs: int, cqi: int) -> float:
+    """Expected transport-block error probability for ``mcs`` at ``cqi``."""
+    if cqi <= 0:
+        return 1.0  # out of range: nothing decodes
+    supported = cqi_to_mcs(cqi)
+    delta = mcs - supported
+    if delta <= 0:
+        return TARGET_BLER * (_BACKOFF ** (-delta))
+    return min(1.0, TARGET_BLER * (_STEEPNESS**delta))
+
+
+class LinkErrorModel:
+    """Per-TB Bernoulli error draws with a seedable RNG."""
+
+    def __init__(self, seed: int | None = 0, target_bler: float = TARGET_BLER):
+        if not 0.0 <= target_bler < 1.0:
+            raise ValueError("target BLER must be in [0, 1)")
+        self._rng = random.Random(seed)
+        self.target_bler = target_bler
+        self.tb_ok = 0
+        self.tb_error = 0
+
+    def transmit(self, mcs: int, cqi: int) -> bool:
+        """True if the transport block decodes."""
+        probability = bler(mcs, cqi) * (self.target_bler / TARGET_BLER)
+        if self._rng.random() < min(probability, 1.0):
+            self.tb_error += 1
+            return False
+        self.tb_ok += 1
+        return True
+
+    @property
+    def measured_bler(self) -> float:
+        total = self.tb_ok + self.tb_error
+        return self.tb_error / total if total else 0.0

@@ -1,0 +1,102 @@
+"""Transport block size determination (3GPP 38.214 §5.1.3.2).
+
+Given PRB count, MCS and layer count, computes the number of information
+bits one slot can carry.  This is the function that turns scheduler grants
+into throughput, so it is implemented to the spec:
+
+1. ``N_RE' = 12 * n_symbols - n_dmrs - n_overhead`` per PRB, capped at 156;
+2. ``N_info = N_RE * R * Qm * v``;
+3. for ``N_info <= 3824``: quantize and round *up* to the nearest entry of
+   the 93-entry TBS table (Table 5.1.3.2-1);
+4. above 3824: the log2-based quantization with byte alignment and the
+   code-block-count alignment for rates <= or > 1/4.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.phy.mcs import mcs_entry
+
+#: 38.214 Table 5.1.3.2-1 (TBS for N_info <= 3824)
+TBS_TABLE: list[int] = [
+    24, 32, 40, 48, 56, 64, 72, 80, 88, 96, 104, 112, 120, 128, 136, 144,
+    152, 160, 168, 176, 184, 192, 208, 224, 240, 256, 272, 288, 304, 320,
+    336, 352, 368, 384, 408, 432, 456, 480, 504, 528, 552, 576, 608, 640,
+    672, 704, 736, 768, 808, 848, 888, 928, 984, 1032, 1064, 1128, 1160,
+    1192, 1224, 1256, 1288, 1320, 1352, 1416, 1480, 1544, 1608, 1672, 1736,
+    1800, 1864, 1928, 2024, 2088, 2152, 2216, 2280, 2408, 2472, 2536, 2600,
+    2664, 2728, 2792, 2856, 2976, 3104, 3240, 3368, 3496, 3624, 3752, 3824,
+]
+
+#: cap on usable resource elements per PRB (38.214 step 1)
+_MAX_RE_PER_PRB = 156
+
+
+def resource_elements(
+    n_prb: int,
+    n_symbols: int = 12,
+    dmrs_re_per_prb: int = 12,
+    overhead_re_per_prb: int = 0,
+) -> int:
+    """Step 1: usable REs. ``n_symbols`` excludes control symbols."""
+    if n_prb <= 0:
+        return 0
+    re_per_prb = 12 * n_symbols - dmrs_re_per_prb - overhead_re_per_prb
+    return min(_MAX_RE_PER_PRB, max(re_per_prb, 0)) * n_prb
+
+
+@lru_cache(maxsize=1 << 16)
+def transport_block_size_bits(
+    n_prb: int,
+    mcs: int,
+    layers: int = 1,
+    n_symbols: int = 12,
+    dmrs_re_per_prb: int = 12,
+    overhead_re_per_prb: int = 0,
+    mcs_table: int = 1,
+) -> int:
+    """TBS in bits for a grant of ``n_prb`` PRBs at MCS ``mcs``.
+
+    Returns 0 for an empty grant.  Memoized: TBS is a pure function of its
+    arguments, and production gNBs precompute exactly this table.
+    ``mcs_table`` selects MCS table 1 (64QAM) or 2 (256QAM).
+    """
+    if n_prb == 0:
+        return 0
+    if n_prb < 0:
+        raise ValueError(f"negative PRB count {n_prb}")
+    entry = mcs_entry(mcs, table=mcs_table)
+    n_re = resource_elements(n_prb, n_symbols, dmrs_re_per_prb, overhead_re_per_prb)
+    n_info = n_re * entry.code_rate * entry.qm * layers
+    if n_info <= 0:
+        return 0
+
+    if n_info <= 3824:
+        n = max(3, int(math.floor(math.log2(n_info))) - 6)
+        n_info_q = max((1 << n) * int(math.floor(n_info / (1 << n))), 24)
+        for tbs in TBS_TABLE:
+            if tbs >= n_info_q:
+                return tbs
+        return TBS_TABLE[-1]
+
+    n = int(math.floor(math.log2(n_info - 24))) - 5
+    n_info_q = max(3840, (1 << n) * round((n_info - 24) / (1 << n)))
+    if entry.code_rate <= 0.25:
+        c = math.ceil((n_info_q + 24) / 3816)
+        return 8 * c * math.ceil((n_info_q + 24) / (8 * c)) - 24
+    if n_info_q > 8424:
+        c = math.ceil((n_info_q + 24) / 8424)
+        return 8 * c * math.ceil((n_info_q + 24) / (8 * c)) - 24
+    return 8 * math.ceil((n_info_q + 24) / 8) - 24
+
+
+def slot_capacity_bytes(n_prb: int, mcs: int, **kwargs) -> int:
+    """Convenience: deliverable payload bytes in one slot."""
+    return transport_block_size_bits(n_prb, mcs, **kwargs) // 8
+
+
+def peak_rate_bps(n_prb: int, mcs: int, slot_duration_s: float, **kwargs) -> float:
+    """Sustained bit rate when granted ``n_prb`` PRBs every slot."""
+    return transport_block_size_bits(n_prb, mcs, **kwargs) / slot_duration_s

@@ -1,0 +1,75 @@
+"""Shipped WA-RAN plugins: WACC sources compiled to Wasm on demand.
+
+Every plugin is genuinely authored in the WACC high-level language (the
+``.wc`` files in this directory) and compiled through the full pipeline -
+WACC -> Wasm binary -> sanitizer -> sandboxed instance - exactly the flow
+of the paper's Fig. 1.  Compilation results are cached per process.
+
+Scheduler plugins (``rr``, ``pf``, ``mt``) share the ABI prelude
+(``prelude.wc``); fault-injection plugins (``fault_*``, ``leaky``) exist
+for the §5C/§5D/§6A experiments.
+"""
+
+from __future__ import annotations
+
+import importlib.resources as resources
+from functools import lru_cache
+
+from repro.wacc import compile_source
+
+#: plugins that reuse the shared scheduler prelude
+_PRELUDE_PLUGINS = frozenset(
+    {
+        "rr",
+        "pf",
+        "mt",
+        "leaky",
+        "fault_null",
+        "fault_oob",
+        "fault_dblfree",
+        "fault_spin",
+        "fault_badgrants",
+    }
+)
+
+#: plugins that reuse the xApp prelude
+_XAPP_PRELUDE_PLUGINS = frozenset({"xapp_ts", "xapp_sla"})
+
+SCHEDULER_PLUGINS = ("rr", "pf", "mt")
+XAPP_PLUGINS = ("xapp_ts", "xapp_sla")
+FAULT_PLUGINS = (
+    "fault_null",
+    "fault_oob",
+    "fault_dblfree",
+    "fault_spin",
+    "fault_badgrants",
+)
+
+
+def plugin_source(name: str) -> str:
+    """Return the full WACC source of a named plugin (prelude included)."""
+    package = resources.files(__package__)
+    body = (package / f"{name}.wc").read_text(encoding="utf-8")
+    if name in _PRELUDE_PLUGINS:
+        prelude = (package / "prelude.wc").read_text(encoding="utf-8")
+        return prelude + "\n" + body
+    if name in _XAPP_PRELUDE_PLUGINS:
+        prelude = (package / "prelude_xapp.wc").read_text(encoding="utf-8")
+        return prelude + "\n" + body
+    return body
+
+
+@lru_cache(maxsize=None)
+def plugin_wasm(name: str) -> bytes:
+    """Compile a named plugin to Wasm bytes (cached)."""
+    return compile_source(plugin_source(name))
+
+
+def available_plugins() -> list[str]:
+    """Names of all shipped .wc plugins."""
+    package = resources.files(__package__)
+    return sorted(
+        entry.name[:-3]
+        for entry in package.iterdir()
+        if entry.name.endswith(".wc") and not entry.name.startswith("prelude")
+    )

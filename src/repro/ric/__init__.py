@@ -1,0 +1,36 @@
+"""The near-RT RAN Intelligent Controller (paper §4B).
+
+The RIC host subscribes to E2 nodes through a vendor-dialect
+communication channel, hosts xApps as sandboxed Wasm plugins, feeds them
+KPM indications, and turns their decisions into RC-lite control requests.
+xApps get a narrow host-function capability set (logging plus inter-xApp
+publish/poll messaging); everything else - including the wire protocol -
+is the host's business, which is exactly how WA-RAN decouples xApps from
+RIC vendor internals.
+"""
+
+from repro.ric.host import NearRtRic, XappRuntime
+from repro.ric.wire import (
+    ACTION_HANDOVER,
+    ACTION_SET_SLICE_QUOTA,
+    MSG_SLICE_KPI,
+    MSG_UE_MEAS,
+    XappAction,
+    pack_xapp_input,
+    unpack_xapp_actions,
+)
+from repro.ric.xapps import native_sla_assurance, native_traffic_steering
+
+__all__ = [
+    "NearRtRic",
+    "XappRuntime",
+    "XappAction",
+    "pack_xapp_input",
+    "unpack_xapp_actions",
+    "MSG_UE_MEAS",
+    "MSG_SLICE_KPI",
+    "ACTION_HANDOVER",
+    "ACTION_SET_SLICE_QUOTA",
+    "native_traffic_steering",
+    "native_sla_assurance",
+]

@@ -1,0 +1,238 @@
+"""The near-RT RIC host: xApp plugin hosting plus E2 session management."""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.abi.host import HostLimits, PluginError, PluginHost
+from repro.e2 import messages
+from repro.e2.comm import CommChannel
+from repro.ric import wire
+from repro.wasm.instance import HostFunc
+from repro.wasm.wtypes import FuncType, ValType
+
+I32, I64 = ValType.I32, ValType.I64
+
+#: host functions an xApp may import (checked by the sanitizer at load)
+XAPP_ALLOWED_IMPORTS = frozenset(
+    {"log", "publish", "poll_msg", "get_param", "now_slot"}
+)
+
+#: parameter ids for the ``get_param`` host function
+PARAM_STEERING_HYSTERESIS = 1
+
+XAPP_REQUIRED_EXPORTS = {
+    "alloc": ((I32,), (I32,)),
+    "on_indication": ((I32, I32), (I32,)),
+}
+
+
+@dataclass
+class XappRuntime:
+    """One hosted xApp: the plugin, its subscriptions, and stats."""
+
+    name: str
+    host: PluginHost
+    msg_types: tuple[int, ...]  # which record kinds it wants
+    calls: int = 0
+    faults: int = 0
+    actions_emitted: int = 0
+
+
+@dataclass
+class _PendingControl:
+    request_id: int
+    action: str
+    target: int
+    value: int
+
+
+class NearRtRic:
+    """Hosts xApps and drives one (or more) E2 nodes."""
+
+    def __init__(
+        self,
+        channel: CommChannel,
+        name: str = "ric",
+        a1_endpoint=None,
+        kpi_publisher=None,
+    ):
+        from repro.ric.a1 import A1Endpoint, A1PolicyStore
+
+        self.channel = channel
+        self.name = name
+        self.a1 = A1Endpoint(a1_endpoint) if a1_endpoint is not None else None
+        self.a1_policies = A1PolicyStore()
+        #: optional PubSubClient; slice KPIs are published for the SMO/rApps
+        self.kpi_publisher = kpi_publisher
+        self.xapps: dict[str, XappRuntime] = {}
+        self._topics: dict[int, deque[int]] = {}
+        self._request_ids = itertools.count(1)
+        self._subscription_ids = itertools.count(1)
+        self.nodes: dict[str, dict[str, Any]] = {}  # node endpoint -> state
+        self.indications_seen = 0
+        self.controls_sent: list[dict[str, Any]] = []
+        self.acks: list[dict[str, Any]] = []
+        self.xapp_log: list[tuple[str, int, int]] = []
+
+    # ----- xApp hosting -----------------------------------------------------
+
+    def _make_hostfuncs(self, xapp_name: str) -> dict[str, HostFunc]:
+        def publish(caller, topic: int, value: int) -> None:
+            self._topics.setdefault(topic, deque(maxlen=1024)).append(value)
+
+        def poll_msg(caller, topic: int) -> int:
+            queue = self._topics.get(topic)
+            if not queue:
+                return -1
+            return queue.popleft()
+
+        def get_param(caller, param_id: int) -> int:
+            """Expose A1-policy-derived parameters to xApps (-1 = unset)."""
+            if param_id == PARAM_STEERING_HYSTERESIS:
+                value = self.a1_policies.steering_hysteresis()
+                return -1 if value is None else value
+            return -1
+
+        return {
+            "publish": HostFunc(FuncType((I32, I64), ()), publish, "publish"),
+            "poll_msg": HostFunc(FuncType((I32,), (I64,)), poll_msg, "poll_msg"),
+            "get_param": HostFunc(FuncType((I32,), (I64,)), get_param, "get_param"),
+        }
+
+    def load_xapp(
+        self,
+        name: str,
+        wasm_bytes: bytes,
+        msg_types: tuple[int, ...],
+        fuel: int | None = 5_000_000,
+    ) -> XappRuntime:
+        """Deploy an xApp plugin (sanitized against the xApp policy)."""
+        if name in self.xapps:
+            raise ValueError(f"xApp {name!r} already loaded")
+
+        def log_sink(code: int, value: int) -> None:
+            self.xapp_log.append((name, code, value))
+
+        host = PluginHost(
+            wasm_bytes,
+            name=name,
+            limits=HostLimits(fuel=fuel),
+            output_record_bytes=wire.XAPP_ACTION_BYTES,
+            allowed_imports=XAPP_ALLOWED_IMPORTS,
+            required_exports=XAPP_REQUIRED_EXPORTS,
+            extra_hostfuncs=self._make_hostfuncs(name),
+            log_sink=log_sink,
+        )
+        runtime = XappRuntime(name, host, tuple(msg_types))
+        self.xapps[name] = runtime
+        return runtime
+
+    def swap_xapp(self, name: str, wasm_bytes: bytes) -> int:
+        """Hot-swap an xApp binary without touching the RIC or E2 sessions."""
+        runtime = self.xapps.get(name)
+        if runtime is None:
+            raise ValueError(f"no xApp named {name!r}")
+        return runtime.host.swap(wasm_bytes)
+
+    def unload_xapp(self, name: str) -> None:
+        self.xapps.pop(name, None)
+
+    # ----- E2 session management -----------------------------------------------
+
+    def connect(self, node_dest: str, period_slots: int = 100) -> int:
+        """E2 setup + KPM subscription toward one node endpoint."""
+        self.channel.send(node_dest, messages.setup_request(self.name, []))
+        subscription_id = next(self._subscription_ids)
+        self.channel.send(
+            node_dest,
+            messages.subscription_request(
+                subscription_id, messages.SM_KPM, period_slots
+            ),
+        )
+        self.nodes[node_dest] = {"subscription_id": subscription_id, "ready": False}
+        return subscription_id
+
+    # ----- the control loop --------------------------------------------------------
+
+    def step(self) -> list[wire.XappAction]:
+        """Process incoming messages; returns all xApp actions executed."""
+        executed: list[wire.XappAction] = []
+        if self.a1 is not None:
+            for source, message in self.a1.poll():
+                ack = self.a1_policies.handle(message)
+                self.a1.send(source, ack)
+        for source, message in self.channel.poll():
+            msg_type = message["msg"]
+            if msg_type == messages.MSG_SETUP_RESPONSE:
+                if source in self.nodes:
+                    self.nodes[source]["ready"] = bool(message["accepted"])
+            elif msg_type == messages.MSG_SUBSCRIPTION_RESPONSE:
+                pass  # accepted subscriptions simply start producing
+            elif msg_type == messages.MSG_CONTROL_ACK:
+                self.acks.append(message)
+            elif msg_type == messages.MSG_INDICATION:
+                self.indications_seen += 1
+                executed.extend(self._handle_indication(source, message))
+        return executed
+
+    def _handle_indication(
+        self, source: str, message: dict[str, Any]
+    ) -> list[wire.XappAction]:
+        if self.kpi_publisher is not None:
+            from repro.ric.rapps import publish_slice_kpis
+
+            publish_slice_kpis(self.kpi_publisher, message["slice_reports"])
+        slice_records = wire.slice_kpi_records(message["slice_reports"])
+        # A1 policies override the node-reported target with the SLA the
+        # operator actually configured (the SMO is authoritative, §Fig. 2)
+        adjusted = []
+        for record in slice_records:
+            sla = self.a1_policies.slice_sla_bps(record[0])
+            if sla is not None:
+                record = record[:5] + (sla,)
+            adjusted.append(record)
+        inputs = {
+            wire.MSG_UE_MEAS: wire.ue_meas_records(message["ue_reports"]),
+            wire.MSG_SLICE_KPI: adjusted,
+        }
+        executed: list[wire.XappAction] = []
+        for runtime in self.xapps.values():
+            for msg_type in runtime.msg_types:
+                records = inputs.get(msg_type, [])
+                payload = wire.pack_xapp_input(msg_type, records)
+                try:
+                    result = runtime.host.call(payload, entry="on_indication")
+                    actions = wire.unpack_xapp_actions(result.output)
+                except (PluginError, wire.XappWireError):
+                    runtime.faults += 1
+                    continue
+                runtime.calls += 1
+                runtime.actions_emitted += len(actions)
+                for action in actions:
+                    self._execute_action(source, action)
+                    executed.append(action)
+        return executed
+
+    def _execute_action(self, node_dest: str, action: wire.XappAction) -> None:
+        if action.kind == wire.ACTION_HANDOVER:
+            control = messages.control_request(
+                next(self._request_ids),
+                messages.ACTION_HANDOVER,
+                action.target,
+                action.value,
+            )
+        elif action.kind == wire.ACTION_SET_SLICE_QUOTA:
+            control = messages.control_request(
+                next(self._request_ids),
+                messages.ACTION_SET_SLICE_QUOTA,
+                action.target,
+                action.value,
+            )
+        else:
+            return  # unknown action kinds are dropped (defensive)
+        self.channel.send(node_dest, control)
+        self.controls_sent.append(control)

@@ -1,0 +1,100 @@
+"""The xApp plugin ABI: indication records in, actions out.
+
+Input::
+
+    u32 magic 'WARN' | u32 version (1) | u32 msg_type | u32 n
+    n * 32-byte records: u32 a, u32 b, u32 c, u32 d, f64 x, f64 y
+
+Record semantics per ``msg_type``:
+
+- ``MSG_UE_MEAS`` (1): a=ue_id, b=serving_cqi, c=best_neighbor_cell,
+  d=neighbor_cqi, x=avg_tput_bps, y=buffer_bytes
+- ``MSG_SLICE_KPI`` (2): a=slice_id, x=measured_bps, y=sla_bps
+
+Output::
+
+    u32 count | count * 16-byte actions: u32 type, u32 target, i64 value
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+MAGIC = 0x5741524E
+VERSION = 1
+
+MSG_UE_MEAS = 1
+MSG_SLICE_KPI = 2
+
+ACTION_HANDOVER = 1
+ACTION_SET_SLICE_QUOTA = 2
+
+XAPP_RECORD_BYTES = 32
+XAPP_ACTION_BYTES = 16
+
+
+class XappWireError(ValueError):
+    """Malformed xApp buffer."""
+
+
+@dataclass(frozen=True)
+class XappAction:
+    kind: int
+    target: int
+    value: int
+
+
+def pack_xapp_input(
+    msg_type: int, records: list[tuple[int, int, int, int, float, float]]
+) -> bytes:
+    out = bytearray(struct.pack("<IIII", MAGIC, VERSION, msg_type, len(records)))
+    for a, b, c, d, x, y in records:
+        out += struct.pack("<IIIIdd", a, b, c, d, x, y)
+    return bytes(out)
+
+
+def unpack_xapp_actions(payload: bytes) -> list[XappAction]:
+    if len(payload) < 4:
+        raise XappWireError("action buffer too short")
+    (count,) = struct.unpack_from("<I", payload, 0)
+    expected = 4 + count * XAPP_ACTION_BYTES
+    if len(payload) < expected:
+        raise XappWireError(f"action buffer truncated: {len(payload)} < {expected}")
+    actions = []
+    for i in range(count):
+        kind, target, value = struct.unpack_from(
+            "<IIq", payload, 4 + i * XAPP_ACTION_BYTES
+        )
+        actions.append(XappAction(kind, target, value))
+    return actions
+
+
+def ue_meas_records(ue_reports: list[dict]) -> list[tuple]:
+    """Convert KPM UE reports into ``MSG_UE_MEAS`` records."""
+    return [
+        (
+            r["ue_id"],
+            r["cqi"],
+            r.get("neighbor_cell", 0),
+            r.get("neighbor_cqi", 0),
+            float(r.get("avg_tput_bps", 0.0)),
+            float(r.get("buffer_bytes", 0)),
+        )
+        for r in ue_reports
+    ]
+
+
+def slice_kpi_records(slice_reports: list[dict]) -> list[tuple]:
+    """Convert KPM slice reports into ``MSG_SLICE_KPI`` records."""
+    return [
+        (
+            r["slice_id"],
+            0,
+            0,
+            0,
+            float(r.get("measured_bps", 0.0)),
+            float(r.get("target_bps", 0.0)),
+        )
+        for r in slice_reports
+    ]

@@ -1,0 +1,46 @@
+"""Native reference implementations of the shipped xApps.
+
+These mirror the WACC plugins (``xapp_ts.wc``, ``xapp_sla.wc``) logic for
+differential testing, and double as the "what a RIC vendor would have
+built in" baselines.
+"""
+
+from __future__ import annotations
+
+from repro.ric.wire import (
+    ACTION_HANDOVER,
+    ACTION_SET_SLICE_QUOTA,
+    XappAction,
+)
+
+
+def native_traffic_steering(
+    records: list[tuple[int, int, int, int, float, float]],
+    hysteresis: int = 2,
+) -> list[XappAction]:
+    """A3-style handover decisions over ``MSG_UE_MEAS`` records."""
+    actions = []
+    for ue_id, serving_cqi, neighbor, neighbor_cqi, _avg, _buf in records:
+        if neighbor > 0 and neighbor_cqi >= serving_cqi + hysteresis:
+            actions.append(XappAction(ACTION_HANDOVER, ue_id, neighbor))
+    return actions
+
+
+def native_sla_assurance(
+    records: list[tuple[int, int, int, int, float, float]],
+    low: float = 0.9,
+    high: float = 1.1,
+    boost: float = 1.2,
+) -> list[XappAction]:
+    """Quota adjustments over ``MSG_SLICE_KPI`` records."""
+    actions = []
+    for slice_id, _b, _c, _d, measured, sla in records:
+        if sla <= 0.0:
+            continue
+        if measured < sla * low:
+            actions.append(
+                XappAction(ACTION_SET_SLICE_QUOTA, slice_id, int(sla * boost))
+            )
+        elif measured > sla * high:
+            actions.append(XappAction(ACTION_SET_SLICE_QUOTA, slice_id, int(sla)))
+    return actions

@@ -1,0 +1,200 @@
+"""Inter-slice schedulers: divide the carrier's PRBs among slices.
+
+The paper's MVNO experiment uses target cumulative DL rates per slice
+(3/12/15 Mb/s); :class:`TargetRateInterSlice` enforces those with per-slice
+token buckets and optional work-conserving redistribution of unused PRBs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.sched.intra import prbs_for_bytes
+from repro.sched.types import UeSchedInfo
+
+
+class InterSliceScheduler(ABC):
+    """Allocates PRBs to slices each slot."""
+
+    @abstractmethod
+    def allocate(
+        self,
+        total_prbs: int,
+        slice_ues: dict[int, list[UeSchedInfo]],
+        slot: int,
+    ) -> dict[int, int]:
+        """Return {slice_id: prbs}; sum must not exceed ``total_prbs``."""
+
+    def notify_delivery(self, slice_id: int, nbytes: int) -> None:
+        """Feedback hook: bytes actually delivered for a slice this slot."""
+
+
+def _demand_prbs(ues: list[UeSchedInfo], cap_bytes: float | None = None) -> int:
+    """PRBs a slice could usefully consume this slot."""
+    total = 0
+    budget = cap_bytes
+    for ue in sorted(ues, key=lambda u: -u.mcs):
+        nbytes = ue.buffer_bytes
+        if budget is not None:
+            nbytes = min(nbytes, int(budget))
+            budget -= nbytes
+        total += prbs_for_bytes(nbytes, ue.mcs)
+        if budget is not None and budget <= 0:
+            break
+    return total
+
+
+class FixedShareInterSlice(InterSliceScheduler):
+    """Static percentage split, largest-remainder rounded."""
+
+    def __init__(self, shares: dict[int, float], work_conserving: bool = True):
+        total = sum(shares.values())
+        if total <= 0:
+            raise ValueError("shares must sum to a positive value")
+        if any(s < 0 for s in shares.values()):
+            raise ValueError("shares must be non-negative")
+        self.shares = {sid: s / total for sid, s in shares.items()}
+        self.work_conserving = work_conserving
+
+    def allocate(self, total_prbs, slice_ues, slot):
+        exact = {sid: self.shares.get(sid, 0.0) * total_prbs for sid in slice_ues}
+        alloc = {sid: int(v) for sid, v in exact.items()}
+        leftover = total_prbs - sum(alloc.values())
+        remainders = sorted(
+            slice_ues, key=lambda sid: exact[sid] - alloc[sid], reverse=True
+        )
+        for sid in remainders:
+            if leftover <= 0:
+                break
+            alloc[sid] += 1
+            leftover -= 1
+        if self.work_conserving:
+            alloc = _reclaim_idle(alloc, slice_ues)
+        return alloc
+
+
+class TargetRateInterSlice(InterSliceScheduler):
+    """Token-bucket enforcement of per-slice target rates.
+
+    Each slice accrues ``target_rate_bps * slot`` worth of byte tokens
+    (capped at ``burst_slots`` slots of burst).  A slot's PRBs go first to
+    slices with tokens *and* buffered data, proportionally to their token
+    deficit; leftover PRBs are redistributed to backlogged slices if
+    ``work_conserving`` (off by default: the paper's experiment caps each
+    MVNO at its purchased rate, which is what Fig. 5a shows).
+    """
+
+    def __init__(
+        self,
+        targets_bps: dict[int, float],
+        slot_duration_s: float = 1e-3,
+        burst_slots: int = 50,
+        work_conserving: bool = False,
+    ):
+        if any(t < 0 for t in targets_bps.values()):
+            raise ValueError("target rates must be non-negative")
+        self.targets_bps = dict(targets_bps)
+        self.slot_duration_s = slot_duration_s
+        self.burst_slots = burst_slots
+        self.work_conserving = work_conserving
+        self.tokens_bytes: dict[int, float] = {sid: 0.0 for sid in targets_bps}
+
+    def allocate(self, total_prbs, slice_ues, slot):
+        # accrue tokens
+        for sid, target in self.targets_bps.items():
+            cap = target * self.slot_duration_s * self.burst_slots / 8
+            self.tokens_bytes[sid] = min(
+                self.tokens_bytes.get(sid, 0.0)
+                + target * self.slot_duration_s / 8,
+                cap,
+            )
+        desired: dict[int, int] = {}
+        for sid, ues in slice_ues.items():
+            tokens = self.tokens_bytes.get(sid, 0.0)
+            desired[sid] = _demand_prbs(ues, cap_bytes=tokens)
+
+        total_desired = sum(desired.values())
+        alloc: dict[int, int] = {sid: 0 for sid in slice_ues}
+        if total_desired <= total_prbs:
+            alloc.update(desired)
+        else:
+            # proportional scale-down, largest remainder
+            exact = {
+                sid: desired[sid] * total_prbs / total_desired for sid in desired
+            }
+            alloc = {sid: int(v) for sid, v in exact.items()}
+            leftover = total_prbs - sum(alloc.values())
+            for sid in sorted(exact, key=lambda s: exact[s] - alloc[s], reverse=True):
+                if leftover <= 0:
+                    break
+                alloc[sid] += 1
+                leftover -= 1
+        if self.work_conserving:
+            spare = total_prbs - sum(alloc.values())
+            if spare > 0:
+                backlogged = {
+                    sid: _demand_prbs(ues) - alloc[sid]
+                    for sid, ues in slice_ues.items()
+                }
+                for sid in sorted(backlogged, key=backlogged.get, reverse=True):
+                    if spare <= 0:
+                        break
+                    extra = min(max(backlogged[sid], 0), spare)
+                    alloc[sid] += extra
+                    spare -= extra
+        return alloc
+
+    def notify_delivery(self, slice_id: int, nbytes: int) -> None:
+        if slice_id in self.tokens_bytes:
+            # Debt is allowed (down to one burst's worth): PRB granularity
+            # rounds each slot's delivery up, and without debt the slice
+            # would systematically overshoot its purchased rate.
+            target = self.targets_bps.get(slice_id, 0.0)
+            floor = -target * self.slot_duration_s * self.burst_slots / 8
+            self.tokens_bytes[slice_id] = max(
+                floor, self.tokens_bytes[slice_id] - nbytes
+            )
+
+
+class PriorityInterSlice(InterSliceScheduler):
+    """Strict priority: higher priority slices take what they need first."""
+
+    def __init__(self, priorities: dict[int, int]):
+        self.priorities = dict(priorities)
+
+    def allocate(self, total_prbs, slice_ues, slot):
+        alloc = {sid: 0 for sid in slice_ues}
+        remaining = total_prbs
+        ordered = sorted(
+            slice_ues, key=lambda sid: (-self.priorities.get(sid, 0), sid)
+        )
+        for sid in ordered:
+            if remaining <= 0:
+                break
+            need = _demand_prbs(slice_ues[sid])
+            take = min(need, remaining)
+            alloc[sid] = take
+            remaining -= take
+        return alloc
+
+
+def _reclaim_idle(
+    alloc: dict[int, int], slice_ues: dict[int, list[UeSchedInfo]]
+) -> dict[int, int]:
+    """Move PRBs from slices with no demand to backlogged slices."""
+    out = dict(alloc)
+    spare = 0
+    demand: dict[int, int] = {}
+    for sid, ues in slice_ues.items():
+        demand[sid] = _demand_prbs(ues)
+        if demand[sid] < out.get(sid, 0):
+            spare += out[sid] - demand[sid]
+            out[sid] = demand[sid]
+    for sid in sorted(out, key=lambda s: demand[s] - out[s], reverse=True):
+        if spare <= 0:
+            break
+        extra = min(demand[sid] - out[sid], spare)
+        if extra > 0:
+            out[sid] += extra
+            spare -= extra
+    return out

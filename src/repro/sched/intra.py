@@ -1,0 +1,205 @@
+"""Native intra-slice schedulers: Round Robin, Proportional Fair, Maximum
+Throughput - the three policies the paper evaluates (§4A, §5).
+
+These serve two roles: as the *baselines* a host gNB would ship built-in,
+and as the reference implementations the Wasm plugins are differentially
+tested against (plugin output must equal native output on identical input).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.phy.tbs import transport_block_size_bits
+from repro.sched.types import UeGrant, UeSchedInfo
+
+_PRB_GRANULARITY = 1
+
+
+#: demand is capped here: no real carrier exceeds 275 PRBs, so "needs more
+#: than 512" and "needs 512" are indistinguishable to every caller.
+DEMAND_CAP_PRBS = 512
+
+
+def prbs_for_bytes(nbytes: int, mcs: int) -> int:
+    """PRBs needed to move ``nbytes`` at ``mcs`` in one slot (ceil search).
+
+    TBS is not linear in PRBs, so walk up from the one-PRB-TBS estimate.
+    Demand beyond :data:`DEMAND_CAP_PRBS` saturates (callers always
+    ``min()`` against the slice share anyway), which also bounds the walk.
+    """
+    if nbytes <= 0:
+        return 0
+    bits = nbytes * 8
+    if transport_block_size_bits(DEMAND_CAP_PRBS, mcs) < bits:
+        return DEMAND_CAP_PRBS
+    # binary search for the minimal n with tbs(n) >= bits; the plugin
+    # prelude implements the identical search, so outputs match exactly
+    lo, hi = 1, DEMAND_CAP_PRBS
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if transport_block_size_bits(mid, mcs) < bits:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class IntraSliceScheduler(ABC):
+    """Distributes a slice's PRB share among its UEs for one slot."""
+
+    name = "base"
+
+    @abstractmethod
+    def schedule(
+        self, allocated_prbs: int, ues: list[UeSchedInfo], slot: int
+    ) -> list[UeGrant]:
+        """Return grants; total PRBs must not exceed ``allocated_prbs``."""
+
+
+class RoundRobinScheduler(IntraSliceScheduler):
+    """Equal shares with a rotating remainder pointer.
+
+    Every UE with buffered data gets ``floor(P/n)`` PRBs; the remainder
+    goes to the UEs after the rotating pointer, which advances each slot so
+    the extra PRBs cycle fairly.
+    """
+
+    name = "rr"
+
+    def __init__(self) -> None:
+        self._pointer = 0
+
+    def schedule(
+        self, allocated_prbs: int, ues: list[UeSchedInfo], slot: int
+    ) -> list[UeGrant]:
+        eligible = [ue for ue in ues if ue.buffer_bytes > 0]
+        if not eligible or allocated_prbs <= 0:
+            return []
+        eligible.sort(key=lambda ue: ue.ue_id)
+        n = len(eligible)
+        base = allocated_prbs // n
+        remainder = allocated_prbs % n
+        start = self._pointer % n
+        self._pointer += 1
+        grants = []
+        for offset in range(n):
+            ue = eligible[(start + offset) % n]
+            extra = 1 if offset < remainder else 0
+            prbs = min(base + extra, prbs_for_bytes(ue.buffer_bytes, ue.mcs))
+            if prbs > 0:
+                grants.append(UeGrant(ue.ue_id, prbs))
+        return _redistribute_leftover(grants, allocated_prbs, eligible)
+
+
+class ProportionalFairScheduler(IntraSliceScheduler):
+    """Classic PF: rank by instantaneous rate / long-term throughput.
+
+    ``time_constant`` is the PF averaging window in slots (the paper's
+    Fig. 5b deliberately uses a *large* time constant so the long-run
+    throughput term dominates after a scheduler swap).  The long-term
+    average itself is maintained by the gNB and arrives in
+    ``UeSchedInfo.avg_tput_bps``; the exponent knobs allow the usual
+    alpha/beta PF generalisation.
+    """
+
+    name = "pf"
+
+    def __init__(self, alpha: float = 1.0, beta: float = 1.0):
+        self.alpha = alpha
+        self.beta = beta
+
+    def metric(self, ue: UeSchedInfo) -> float:
+        inst_rate = transport_block_size_bits(1, ue.mcs) * 1000.0  # bps per PRB
+        avg = max(ue.avg_tput_bps, 1.0)
+        return (inst_rate**self.alpha) / (avg**self.beta)
+
+    def schedule(
+        self, allocated_prbs: int, ues: list[UeSchedInfo], slot: int
+    ) -> list[UeGrant]:
+        eligible = [ue for ue in ues if ue.buffer_bytes > 0]
+        if not eligible or allocated_prbs <= 0:
+            return []
+        # highest metric first; stable tie-break on ue_id for determinism
+        ranked = sorted(eligible, key=lambda ue: (-self.metric(ue), ue.ue_id))
+        grants = []
+        remaining = allocated_prbs
+        for ue in ranked:
+            if remaining <= 0:
+                break
+            need = prbs_for_bytes(ue.buffer_bytes, ue.mcs)
+            prbs = min(need, remaining)
+            if prbs > 0:
+                grants.append(UeGrant(ue.ue_id, prbs))
+                remaining -= prbs
+        return grants
+
+
+class MaximumThroughputScheduler(IntraSliceScheduler):
+    """Greedy: serve the best-channel UE first (cell-throughput maximal).
+
+    Starves bad-channel UEs by design - exactly the behaviour Fig. 5b's
+    first phase demonstrates with the MCS-20 UE.
+    """
+
+    name = "mt"
+
+    def schedule(
+        self, allocated_prbs: int, ues: list[UeSchedInfo], slot: int
+    ) -> list[UeGrant]:
+        eligible = [ue for ue in ues if ue.buffer_bytes > 0]
+        if not eligible or allocated_prbs <= 0:
+            return []
+        ranked = sorted(eligible, key=lambda ue: (-ue.mcs, ue.ue_id))
+        grants = []
+        remaining = allocated_prbs
+        for ue in ranked:
+            if remaining <= 0:
+                break
+            need = prbs_for_bytes(ue.buffer_bytes, ue.mcs)
+            prbs = min(need, remaining)
+            if prbs > 0:
+                grants.append(UeGrant(ue.ue_id, prbs))
+                remaining -= prbs
+        return grants
+
+
+def _redistribute_leftover(
+    grants: list[UeGrant], allocated_prbs: int, eligible: list[UeSchedInfo]
+) -> list[UeGrant]:
+    """Hand PRBs freed by buffer-limited UEs to UEs that can still use them."""
+    used = sum(g.prbs for g in grants)
+    leftover = allocated_prbs - used
+    if leftover <= 0:
+        return grants
+    by_id = {g.ue_id: g.prbs for g in grants}
+    need = {
+        ue.ue_id: prbs_for_bytes(ue.buffer_bytes, ue.mcs) - by_id.get(ue.ue_id, 0)
+        for ue in eligible
+    }
+    for ue in eligible:
+        if leftover <= 0:
+            break
+        extra = min(need[ue.ue_id], leftover)
+        if extra > 0:
+            by_id[ue.ue_id] = by_id.get(ue.ue_id, 0) + extra
+            leftover -= extra
+    return [UeGrant(ue_id, prbs) for ue_id, prbs in by_id.items() if prbs > 0]
+
+
+_REGISTRY = {
+    "rr": RoundRobinScheduler,
+    "pf": ProportionalFairScheduler,
+    "mt": MaximumThroughputScheduler,
+}
+
+
+def make_intra_scheduler(name: str, **params) -> IntraSliceScheduler:
+    """Factory over the built-in policies."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**params)

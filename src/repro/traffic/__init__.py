@@ -1,0 +1,31 @@
+"""Downlink traffic generation and RLC-lite buffering.
+
+The paper's testbed drives UEs with iperf3 downlink streams; a network
+slice's *target rate* is enforced by the inter-slice scheduler, while the
+traffic source decides how much data is available.  This package provides:
+
+- :class:`FullBufferSource` - infinite backlog (classic full-buffer model);
+- :class:`CbrSource` - constant bit rate, the iperf3-UDP analog;
+- :class:`PoissonSource` - Poisson packet arrivals;
+- :class:`OnOffSource` - bursty exponential ON/OFF traffic;
+- :class:`DownlinkBuffer` - the per-UE gNB-side queue the scheduler reads
+  buffer status from.
+"""
+
+from repro.traffic.sources import (
+    CbrSource,
+    DownlinkBuffer,
+    FullBufferSource,
+    OnOffSource,
+    PoissonSource,
+    TrafficSource,
+)
+
+__all__ = [
+    "TrafficSource",
+    "FullBufferSource",
+    "CbrSource",
+    "PoissonSource",
+    "OnOffSource",
+    "DownlinkBuffer",
+]

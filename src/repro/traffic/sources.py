@@ -1,0 +1,148 @@
+"""Traffic sources and the per-UE downlink buffer."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+
+class TrafficSource(ABC):
+    """Produces downlink bytes arriving at the gNB for one UE."""
+
+    @abstractmethod
+    def arrivals(self, now_s: float, dt_s: float) -> int:
+        """Bytes arriving during the interval ``[now_s, now_s + dt_s)``."""
+
+
+class FullBufferSource(TrafficSource):
+    """Infinite backlog: the buffer never runs dry."""
+
+    def arrivals(self, now_s: float, dt_s: float) -> int:
+        # large enough that one slot can never drain it
+        return 1 << 20
+
+
+class CbrSource(TrafficSource):
+    """Constant bit rate with fractional-byte carry (iperf3-UDP analog)."""
+
+    def __init__(self, rate_bps: float):
+        if rate_bps < 0:
+            raise ValueError("rate must be non-negative")
+        self.rate_bps = rate_bps
+        self._carry = 0.0
+
+    def arrivals(self, now_s: float, dt_s: float) -> int:
+        exact = self.rate_bps * dt_s / 8 + self._carry
+        whole = int(exact)
+        self._carry = exact - whole
+        return whole
+
+
+class PoissonSource(TrafficSource):
+    """Poisson packet arrivals of fixed size."""
+
+    def __init__(self, mean_rate_bps: float, packet_bytes: int = 1200, seed: int | None = None):
+        if packet_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        self.packets_per_s = mean_rate_bps / (8 * packet_bytes)
+        self.packet_bytes = packet_bytes
+        self._rng = random.Random(seed)
+        self._next_arrival = 0.0
+        self._initialised = False
+
+    def arrivals(self, now_s: float, dt_s: float) -> int:
+        if not self._initialised:
+            self._initialised = True
+            self._next_arrival = now_s + self._draw()
+        count = 0
+        end = now_s + dt_s
+        while self._next_arrival < end:
+            count += 1
+            self._next_arrival += self._draw()
+        return count * self.packet_bytes
+
+    def _draw(self) -> float:
+        if self.packets_per_s <= 0:
+            return float("inf")
+        return self._rng.expovariate(self.packets_per_s)
+
+
+class OnOffSource(TrafficSource):
+    """Exponential ON/OFF bursts: CBR at ``rate_bps`` while ON, silent OFF."""
+
+    def __init__(
+        self,
+        rate_bps: float,
+        mean_on_s: float = 1.0,
+        mean_off_s: float = 1.0,
+        seed: int | None = None,
+    ):
+        if mean_on_s <= 0 or mean_off_s <= 0:
+            raise ValueError("mean ON/OFF durations must be positive")
+        self.rate_bps = rate_bps
+        self.mean_on_s = mean_on_s
+        self.mean_off_s = mean_off_s
+        self._rng = random.Random(seed)
+        self._on = True
+        self._phase_ends = 0.0
+        self._carry = 0.0
+        self._initialised = False
+
+    def arrivals(self, now_s: float, dt_s: float) -> int:
+        if not self._initialised:
+            self._initialised = True
+            self._phase_ends = now_s + self._rng.expovariate(1 / self.mean_on_s)
+        total = 0.0
+        t = now_s
+        end = now_s + dt_s
+        while t < end:
+            segment_end = min(end, self._phase_ends)
+            if self._on:
+                total += self.rate_bps * (segment_end - t) / 8
+            t = segment_end
+            if t >= self._phase_ends:
+                self._on = not self._on
+                mean = self.mean_on_s if self._on else self.mean_off_s
+                self._phase_ends = t + self._rng.expovariate(1 / mean)
+        exact = total + self._carry
+        whole = int(exact)
+        self._carry = exact - whole
+        return whole
+
+
+class DownlinkBuffer:
+    """The gNB-side RLC queue for one UE.
+
+    The scheduler reads :attr:`occupancy_bytes` (buffer status); grants
+    drain it via :meth:`drain`.  A capacity cap models finite RLC buffers -
+    overflow bytes are dropped and counted.
+    """
+
+    def __init__(self, capacity_bytes: int = 4 << 20):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.occupancy_bytes = 0
+        self.dropped_bytes = 0
+        self.delivered_bytes = 0
+
+    def enqueue(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("cannot enqueue negative bytes")
+        space = self.capacity_bytes - self.occupancy_bytes
+        accepted = min(nbytes, space)
+        self.occupancy_bytes += accepted
+        self.dropped_bytes += nbytes - accepted
+
+    def drain(self, nbytes: int) -> int:
+        """Remove up to ``nbytes``; returns the bytes actually delivered."""
+        if nbytes < 0:
+            raise ValueError("cannot drain negative bytes")
+        delivered = min(nbytes, self.occupancy_bytes)
+        self.occupancy_bytes -= delivered
+        self.delivered_bytes += delivered
+        return delivered
+
+    @property
+    def has_data(self) -> bool:
+        return self.occupancy_bytes > 0

@@ -1,0 +1,167 @@
+"""WACC abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ----- expressions -----------------------------------------------------------
+
+
+@dataclass
+class IntLit:
+    value: int
+    line: int
+
+
+@dataclass
+class FloatLit:
+    value: float
+    line: int
+
+
+@dataclass
+class Var:
+    name: str
+    line: int
+
+
+@dataclass
+class Unary:
+    op: str  # '-' | '!' | '~'
+    operand: object
+    line: int
+
+
+@dataclass
+class Binary:
+    op: str
+    left: object
+    right: object
+    line: int
+
+
+@dataclass
+class Cast:
+    operand: object
+    target: str  # 'i32' | 'i64' | 'f32' | 'f64'
+    line: int
+
+
+@dataclass
+class Call:
+    name: str
+    args: list
+    line: int
+
+
+Expr = object
+
+
+# ----- statements -------------------------------------------------------------
+
+
+@dataclass
+class Let:
+    name: str
+    typename: str
+    init: Expr | None
+    line: int
+
+
+@dataclass
+class Assign:
+    name: str
+    value: Expr
+    line: int
+
+
+@dataclass
+class If:
+    cond: Expr
+    then_body: list
+    else_body: list | None
+    line: int
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: list
+    line: int
+
+
+@dataclass
+class Return:
+    value: Expr | None
+    line: int
+
+
+@dataclass
+class Break:
+    line: int
+
+
+@dataclass
+class Continue:
+    line: int
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+    line: int
+
+
+Stmt = object
+
+
+# ----- items -------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    typename: str
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    params: list[Param]
+    result: str | None
+    body: list[Stmt]
+    exported: bool
+    line: int
+
+
+@dataclass
+class ImportDecl:
+    name: str
+    params: list[Param]
+    result: str | None
+    module: str
+    line: int
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    typename: str
+    init: Expr
+    line: int
+
+
+@dataclass
+class MemoryDecl:
+    minimum: int
+    maximum: int | None
+    line: int
+
+
+@dataclass
+class Program:
+    imports: list[ImportDecl] = field(default_factory=list)
+    globals: list[GlobalDecl] = field(default_factory=list)
+    funcs: list[FuncDecl] = field(default_factory=list)
+    memory: MemoryDecl | None = None

@@ -1,0 +1,151 @@
+"""WACC constant folding.
+
+Folds integer and float literal arithmetic at compile time, with Wasm's
+exact semantics: i32 wrapping, truncating division, shift counts mod 32.
+Anything whose runtime behaviour differs from compile-time evaluation
+(division by a zero literal, out-of-range trunc) is left unfolded so the
+trap still happens at run time.
+
+Runs after inlining, which is what exposes most of the foldable
+expressions (inlined accessors produce shapes like ``1024 + 20 + i*24``
+whose literal sub-terms then combine).
+"""
+
+from __future__ import annotations
+
+from repro.wacc import ast
+from repro.wacc.parser import _ForBlock
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _wrap32(value: int) -> int:
+    value &= _MASK32
+    return value - (1 << 32) if value >= 1 << 31 else value
+
+
+def _fold_int_binary(op: str, a: int, b: int) -> int | None:
+    if op == "+":
+        return _wrap32(a + b)
+    if op == "-":
+        return _wrap32(a - b)
+    if op == "*":
+        return _wrap32(a * b)
+    if op == "/":
+        if b == 0 or (a == -(1 << 31) and b == -1):
+            return None  # keep the runtime trap
+        q = abs(a) // abs(b)
+        return _wrap32(-q if (a < 0) != (b < 0) else q)
+    if op == "%":
+        if b == 0:
+            return None
+        r = abs(a) % abs(b)
+        return _wrap32(-r if a < 0 else r)
+    if op == "&":
+        return _wrap32(a & b)
+    if op == "|":
+        return _wrap32(a | b)
+    if op == "^":
+        return _wrap32(a ^ b)
+    if op == "<<":
+        return _wrap32((a & _MASK32) << ((b & _MASK32) % 32))
+    if op == ">>":
+        return _wrap32(a >> ((b & _MASK32) % 32))
+    if op == ">>>":
+        return _wrap32((a & _MASK32) >> ((b & _MASK32) % 32))
+    if op in ("==", "!=", "<", ">", "<=", ">="):
+        return int(eval(f"a {op} b"))  # noqa: S307 - operands are ints
+    if op == "&&":
+        return int(bool(a) and bool(b))
+    if op == "||":
+        return int(bool(a) or bool(b))
+    return None
+
+
+def _fold_float_binary(op: str, a: float, b: float) -> float | int | None:
+    # only operations whose compile-time result is bit-identical to the
+    # runtime f64 result
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/" and b != 0.0:
+        return a / b
+    if op in ("==", "!=", "<", ">", "<=", ">="):
+        return int(eval(f"a {op} b"))  # noqa: S307 - operands are floats
+    return None
+
+
+def fold_expr(expr):
+    """Bottom-up fold; returns a (possibly new) expression node."""
+    if isinstance(expr, ast.Unary):
+        operand = fold_expr(expr.operand)
+        if expr.op == "-" and isinstance(operand, ast.IntLit):
+            return ast.IntLit(_wrap32(-operand.value), expr.line)
+        if expr.op == "-" and isinstance(operand, ast.FloatLit):
+            return ast.FloatLit(-operand.value, expr.line)
+        if expr.op == "!" and isinstance(operand, ast.IntLit):
+            return ast.IntLit(int(operand.value == 0), expr.line)
+        if expr.op == "~" and isinstance(operand, ast.IntLit):
+            return ast.IntLit(_wrap32(~operand.value), expr.line)
+        return ast.Unary(expr.op, operand, expr.line)
+    if isinstance(expr, ast.Binary):
+        left = fold_expr(expr.left)
+        right = fold_expr(expr.right)
+        if isinstance(left, ast.IntLit) and isinstance(right, ast.IntLit):
+            # only fold when both fit i32 (i64 contexts re-type literals
+            # at codegen; folding wide values could change wrapping)
+            if -(1 << 31) <= left.value <= (1 << 31) - 1 and (
+                -(1 << 31) <= right.value <= (1 << 31) - 1
+            ):
+                folded = _fold_int_binary(expr.op, left.value, right.value)
+                if folded is not None:
+                    return ast.IntLit(folded, expr.line)
+        if isinstance(left, ast.FloatLit) and isinstance(right, ast.FloatLit):
+            folded = _fold_float_binary(expr.op, left.value, right.value)
+            if isinstance(folded, int):
+                return ast.IntLit(folded, expr.line)
+            if folded is not None:
+                return ast.FloatLit(folded, expr.line)
+        return ast.Binary(expr.op, left, right, expr.line)
+    if isinstance(expr, ast.Cast):
+        return ast.Cast(fold_expr(expr.operand), expr.target, expr.line)
+    if isinstance(expr, ast.Call):
+        return ast.Call(expr.name, [fold_expr(a) for a in expr.args], expr.line)
+    return expr
+
+
+def _fold_stmt(stmt):
+    if isinstance(stmt, ast.Let):
+        init = fold_expr(stmt.init) if stmt.init is not None else None
+        return ast.Let(stmt.name, stmt.typename, init, stmt.line)
+    if isinstance(stmt, ast.Assign):
+        return ast.Assign(stmt.name, fold_expr(stmt.value), stmt.line)
+    if isinstance(stmt, ast.If):
+        return ast.If(
+            fold_expr(stmt.cond),
+            [_fold_stmt(s) for s in stmt.then_body],
+            [_fold_stmt(s) for s in stmt.else_body]
+            if stmt.else_body is not None
+            else None,
+            stmt.line,
+        )
+    if isinstance(stmt, ast.While):
+        return ast.While(fold_expr(stmt.cond), [_fold_stmt(s) for s in stmt.body], stmt.line)
+    if isinstance(stmt, ast.Return):
+        value = fold_expr(stmt.value) if stmt.value is not None else None
+        return ast.Return(value, stmt.line)
+    if isinstance(stmt, ast.ExprStmt):
+        return ast.ExprStmt(fold_expr(stmt.expr), stmt.line)
+    if isinstance(stmt, _ForBlock):
+        return _ForBlock([_fold_stmt(s) for s in stmt.stmts], stmt.line)
+    return stmt
+
+
+def fold_program(program: ast.Program) -> ast.Program:
+    """Fold constants throughout (in place; also returns the program)."""
+    for func in program.funcs:
+        func.body = [_fold_stmt(s) for s in func.body]
+    return program

@@ -1,0 +1,9 @@
+"""WACC compiler errors."""
+
+
+class WaccError(Exception):
+    """Any compile-time failure: lexing, parsing, or type checking."""
+
+
+class WaccTypeError(WaccError):
+    """An expression or statement failed type checking."""

@@ -1,0 +1,183 @@
+"""WACC function inlining.
+
+The paper's §6C names code optimization as the way to narrow the
+Wasm-vs-native gap; on our interpreter the dominant cost is *function call
+overhead*, so the single most effective optimization is inlining the small
+accessor-style helpers WACC programs are full of.
+
+A function is inlinable when its body is exactly ``return <expr>;`` and the
+expression contains no calls.  A call site is rewritten when each parameter
+is used at most once in the body (so argument expressions are never
+duplicated), and unused parameters have side-effect-free arguments (so
+dropping them is sound).  The pass runs to a fixpoint, so chains of
+accessors (``ue_id`` -> ``ue_rec``) collapse fully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.wacc import ast
+from repro.wacc.parser import _ForBlock
+
+
+def _count_param_uses(expr, counts: dict[str, int]) -> None:
+    if isinstance(expr, ast.Var):
+        if expr.name in counts:
+            counts[expr.name] += 1
+    elif isinstance(expr, ast.Unary):
+        _count_param_uses(expr.operand, counts)
+    elif isinstance(expr, ast.Binary):
+        _count_param_uses(expr.left, counts)
+        _count_param_uses(expr.right, counts)
+    elif isinstance(expr, ast.Cast):
+        _count_param_uses(expr.operand, counts)
+    elif isinstance(expr, ast.Call):
+        for arg in expr.args:
+            _count_param_uses(arg, counts)
+
+
+def _has_call(expr) -> bool:
+    if isinstance(expr, ast.Call):
+        return True
+    if isinstance(expr, ast.Unary):
+        return _has_call(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return _has_call(expr.left) or _has_call(expr.right)
+    if isinstance(expr, ast.Cast):
+        return _has_call(expr.operand)
+    return False
+
+
+def _references_globals_or_calls(expr, param_names: set[str]) -> bool:
+    """Anything but params/literals/arithmetic makes inlining unsafe-ish;
+    we allow global reads (they are re-read at the call site, which is the
+    same evaluation order for a single-return body)."""
+    return _has_call(expr)
+
+
+def _substitute(expr, mapping: dict[str, object]):
+    """Clone ``expr`` with parameter variables replaced by argument ASTs."""
+    if isinstance(expr, ast.Var):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(expr.op, _substitute(expr.operand, mapping), expr.line)
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(
+            expr.op,
+            _substitute(expr.left, mapping),
+            _substitute(expr.right, mapping),
+            expr.line,
+        )
+    if isinstance(expr, ast.Cast):
+        return ast.Cast(_substitute(expr.operand, mapping), expr.target, expr.line)
+    if isinstance(expr, ast.Call):
+        return ast.Call(
+            expr.name, [_substitute(a, mapping) for a in expr.args], expr.line
+        )
+    return expr  # literals are immutable enough to share
+
+
+class _Inliner:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.inlinable: dict[str, ast.FuncDecl] = {}
+        self.changed = False
+
+    def collect(self) -> None:
+        self.inlinable = {}
+        for func in self.program.funcs:
+            if len(func.body) != 1 or not isinstance(func.body[0], ast.Return):
+                continue
+            value = func.body[0].value
+            if value is None or func.result is None:
+                continue
+            if _references_globals_or_calls(value, {p.name for p in func.params}):
+                continue
+            self.inlinable[func.name] = func
+
+    def try_inline(self, call: ast.Call):
+        func = self.inlinable.get(call.name)
+        if func is None or len(call.args) != len(func.params):
+            return None
+        body_expr = func.body[0].value
+        counts = {p.name: 0 for p in func.params}
+        _count_param_uses(body_expr, counts)
+        mapping = {}
+        for param, arg in zip(func.params, call.args):
+            uses = counts[param.name]
+            if uses > 1:
+                # duplicating the argument is only sound when it is trivial
+                if not isinstance(arg, (ast.Var, ast.IntLit, ast.FloatLit)):
+                    return None
+            if uses == 0 and _has_call(arg):
+                return None  # dropping it would drop a side effect
+            mapping[param.name] = arg
+        self.changed = True
+        return _substitute(body_expr, mapping)
+
+    # ----- tree walk -----------------------------------------------------------
+
+    def rewrite_expr(self, expr):
+        if isinstance(expr, ast.Call):
+            new_args = [self.rewrite_expr(a) for a in expr.args]
+            call = ast.Call(expr.name, new_args, expr.line)
+            inlined = self.try_inline(call)
+            return inlined if inlined is not None else call
+        if isinstance(expr, ast.Unary):
+            return ast.Unary(expr.op, self.rewrite_expr(expr.operand), expr.line)
+        if isinstance(expr, ast.Binary):
+            return ast.Binary(
+                expr.op,
+                self.rewrite_expr(expr.left),
+                self.rewrite_expr(expr.right),
+                expr.line,
+            )
+        if isinstance(expr, ast.Cast):
+            return ast.Cast(self.rewrite_expr(expr.operand), expr.target, expr.line)
+        return expr
+
+    def rewrite_stmt(self, stmt):
+        if isinstance(stmt, ast.Let):
+            init = self.rewrite_expr(stmt.init) if stmt.init is not None else None
+            return ast.Let(stmt.name, stmt.typename, init, stmt.line)
+        if isinstance(stmt, ast.Assign):
+            return ast.Assign(stmt.name, self.rewrite_expr(stmt.value), stmt.line)
+        if isinstance(stmt, ast.If):
+            return ast.If(
+                self.rewrite_expr(stmt.cond),
+                [self.rewrite_stmt(s) for s in stmt.then_body],
+                [self.rewrite_stmt(s) for s in stmt.else_body]
+                if stmt.else_body is not None
+                else None,
+                stmt.line,
+            )
+        if isinstance(stmt, ast.While):
+            return ast.While(
+                self.rewrite_expr(stmt.cond),
+                [self.rewrite_stmt(s) for s in stmt.body],
+                stmt.line,
+            )
+        if isinstance(stmt, ast.Return):
+            value = self.rewrite_expr(stmt.value) if stmt.value is not None else None
+            return ast.Return(value, stmt.line)
+        if isinstance(stmt, ast.ExprStmt):
+            return ast.ExprStmt(self.rewrite_expr(stmt.expr), stmt.line)
+        if isinstance(stmt, _ForBlock):
+            return _ForBlock([self.rewrite_stmt(s) for s in stmt.stmts], stmt.line)
+        return stmt  # Break / Continue
+
+    def run(self, max_passes: int = 8) -> ast.Program:
+        for _ in range(max_passes):
+            self.collect()
+            self.changed = False
+            for func in self.program.funcs:
+                func.body = [self.rewrite_stmt(s) for s in func.body]
+            if not self.changed:
+                break
+        return self.program
+
+
+def inline_program(program: ast.Program) -> ast.Program:
+    """Run the inlining pass (in place; also returns the program)."""
+    return _Inliner(program).run()

@@ -1,0 +1,114 @@
+"""WACC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wacc.errors import WaccError
+
+KEYWORDS = {
+    "fn", "let", "if", "else", "while", "for", "return", "break", "continue",
+    "export", "import", "global", "memory", "as", "true", "false",
+    "i32", "i64", "f32", "f64",
+}
+
+# multi-char operators, longest first
+OPERATORS = [
+    ">>>", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", ",", ";", ":", "->",
+]
+OPERATORS.sort(key=len, reverse=True)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'keyword' | 'int' | 'float' | 'op' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> WaccError:
+        return WaccError(f"{message} at line {line}:{col}")
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch.isspace():
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            col = 1 if "\n" in skipped else col + len(skipped)
+            i = end + 2
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and (source[i] in "0123456789abcdefABCDEF_"):
+                    i += 1
+            else:
+                while i < n and (source[i].isdigit() or source[i] == "_"):
+                    i += 1
+                if i < n and source[i] == "." and not source.startswith("..", i):
+                    is_float = True
+                    i += 1
+                    while i < n and (source[i].isdigit() or source[i] == "_"):
+                        i += 1
+                if i < n and source[i] in "eE":
+                    is_float = True
+                    i += 1
+                    if i < n and source[i] in "+-":
+                        i += 1
+                    while i < n and source[i].isdigit():
+                        i += 1
+            text = source[start:i]
+            tokens.append(Token("float" if is_float else "int", text, line, col))
+            col += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += i - start
+            continue
+        for op_text in OPERATORS:
+            if source.startswith(op_text, i):
+                tokens.append(Token("op", op_text, line, col))
+                i += len(op_text)
+                col += len(op_text)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,320 @@
+"""WACC recursive-descent / Pratt parser."""
+
+from __future__ import annotations
+
+from repro.wacc import ast
+from repro.wacc.errors import WaccError
+from repro.wacc.lexer import Token, tokenize
+
+# binding powers, loosest to tightest
+_BINARY_PRECEDENCE = {
+    "||": 10,
+    "&&": 20,
+    "|": 30,
+    "^": 40,
+    "&": 50,
+    "==": 60, "!=": 60,
+    "<": 70, ">": 70, "<=": 70, ">=": 70,
+    "<<": 80, ">>": 80, ">>>": 80,
+    "+": 90, "-": 90,
+    "*": 100, "/": 100, "%": 100,
+}
+_CAST_PRECEDENCE = 110  # `as` binds tighter than any binary operator
+
+_TYPES = {"i32", "i64", "f32", "f64"}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ----- token helpers ------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def error(self, message: str) -> WaccError:
+        tok = self.cur
+        return WaccError(f"{message} at line {tok.line}:{tok.col} (near {tok.text!r})")
+
+    def advance(self) -> Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def check(self, text: str) -> bool:
+        return self.cur.text == text and self.cur.kind in ("op", "keyword")
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            raise self.error(f"expected {text!r}")
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        if self.cur.kind != "ident":
+            raise self.error("expected identifier")
+        return self.advance().text
+
+    def expect_type(self) -> str:
+        if self.cur.text not in _TYPES:
+            raise self.error("expected a type (i32/i64/f32/f64)")
+        return self.advance().text
+
+    def expect_int(self) -> int:
+        if self.cur.kind != "int":
+            raise self.error("expected integer literal")
+        return _parse_int(self.advance().text)
+
+    # ----- program ---------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while self.cur.kind != "eof":
+            if self.check("import"):
+                program.imports.append(self.parse_import())
+            elif self.check("global"):
+                program.globals.append(self.parse_global())
+            elif self.check("memory"):
+                if program.memory is not None:
+                    raise self.error("duplicate memory declaration")
+                program.memory = self.parse_memory()
+            elif self.check("export") or self.check("fn"):
+                program.funcs.append(self.parse_func())
+            else:
+                raise self.error("expected top-level item")
+        return program
+
+    def parse_import(self) -> ast.ImportDecl:
+        line = self.cur.line
+        self.expect("import")
+        self.expect("fn")
+        name = self.expect_ident()
+        params = self.parse_params()
+        result = self.expect_type() if self.accept("->") else None
+        self.expect(";")
+        return ast.ImportDecl(name, params, result, "env", line)
+
+    def parse_global(self) -> ast.GlobalDecl:
+        line = self.cur.line
+        self.expect("global")
+        name = self.expect_ident()
+        self.expect(":")
+        typename = self.expect_type()
+        self.expect("=")
+        init = self.parse_expr()
+        self.expect(";")
+        return ast.GlobalDecl(name, typename, init, line)
+
+    def parse_memory(self) -> ast.MemoryDecl:
+        line = self.cur.line
+        self.expect("memory")
+        minimum = self.expect_int()
+        maximum = self.expect_int() if self.cur.kind == "int" else None
+        self.expect(";")
+        return ast.MemoryDecl(minimum, maximum, line)
+
+    def parse_func(self) -> ast.FuncDecl:
+        line = self.cur.line
+        exported = self.accept("export")
+        self.expect("fn")
+        name = self.expect_ident()
+        params = self.parse_params()
+        result = self.expect_type() if self.accept("->") else None
+        body = self.parse_block()
+        return ast.FuncDecl(name, params, result, body, exported, line)
+
+    def parse_params(self) -> list[ast.Param]:
+        self.expect("(")
+        params: list[ast.Param] = []
+        if not self.check(")"):
+            while True:
+                pname = self.expect_ident()
+                self.expect(":")
+                params.append(ast.Param(pname, self.expect_type()))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        return params
+
+    # ----- statements ----------------------------------------------------------------
+
+    def parse_block(self) -> list:
+        self.expect("{")
+        stmts = []
+        while not self.check("}"):
+            stmts.append(self.parse_stmt())
+        self.expect("}")
+        return stmts
+
+    def parse_stmt(self):
+        line = self.cur.line
+        if self.check("let"):
+            self.advance()
+            name = self.expect_ident()
+            self.expect(":")
+            typename = self.expect_type()
+            init = self.parse_expr() if self.accept("=") else None
+            self.expect(";")
+            return ast.Let(name, typename, init, line)
+        if self.check("if"):
+            return self.parse_if()
+        if self.check("while"):
+            self.advance()
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            return ast.While(cond, self.parse_block(), line)
+        if self.check("for"):
+            return self.parse_for()
+        if self.check("return"):
+            self.advance()
+            value = None if self.check(";") else self.parse_expr()
+            self.expect(";")
+            return ast.Return(value, line)
+        if self.check("break"):
+            self.advance()
+            self.expect(";")
+            return ast.Break(line)
+        if self.check("continue"):
+            self.advance()
+            self.expect(";")
+            return ast.Continue(line)
+        # assignment or expression statement
+        if self.cur.kind == "ident" and self.tokens[self.pos + 1].text == "=" and (
+            self.tokens[self.pos + 1].kind == "op"
+        ):
+            name = self.expect_ident()
+            self.expect("=")
+            value = self.parse_expr()
+            self.expect(";")
+            return ast.Assign(name, value, line)
+        expr = self.parse_expr()
+        self.expect(";")
+        return ast.ExprStmt(expr, line)
+
+    def parse_if(self):
+        line = self.cur.line
+        self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then_body = self.parse_block()
+        else_body = None
+        if self.accept("else"):
+            if self.check("if"):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return ast.If(cond, then_body, else_body, line)
+
+    def parse_for(self):
+        """``for (init; cond; step) body`` desugars to let/while."""
+        line = self.cur.line
+        self.expect("for")
+        self.expect("(")
+        init = None
+        if not self.check(";"):
+            init = self.parse_stmt()  # consumes its own ';'
+        else:
+            self.expect(";")
+        cond = ast.IntLit(1, line) if self.check(";") else self.parse_expr()
+        self.expect(";")
+        step = None
+        if not self.check(")"):
+            step_line = self.cur.line
+            if self.cur.kind == "ident" and self.tokens[self.pos + 1].text == "=":
+                name = self.expect_ident()
+                self.expect("=")
+                step = ast.Assign(name, self.parse_expr(), step_line)
+            else:
+                step = ast.ExprStmt(self.parse_expr(), step_line)
+        self.expect(")")
+        body = self.parse_block()
+        if step is not None:
+            body = body + [step]
+        loop = ast.While(cond, body, line)
+        # NOTE: `continue` inside a for-loop skips the step statement (it
+        # desugars to a plain while); WACC documents this C-divergence.
+        return loop if init is None else _ForBlock([init, loop], line)
+
+    # ----- expressions -----------------------------------------------------------------
+
+    def parse_expr(self, min_precedence: int = 0):
+        left = self.parse_unary()
+        while True:
+            if self.check("as") and _CAST_PRECEDENCE >= min_precedence:
+                line = self.cur.line
+                self.advance()
+                left = ast.Cast(left, self.expect_type(), line)
+                continue
+            text = self.cur.text
+            precedence = _BINARY_PRECEDENCE.get(text) if self.cur.kind == "op" else None
+            if precedence is None or precedence < min_precedence:
+                return left
+            line = self.cur.line
+            self.advance()
+            right = self.parse_expr(precedence + 1)
+            left = ast.Binary(text, left, right, line)
+
+    def parse_unary(self):
+        line = self.cur.line
+        if self.cur.kind == "op" and self.cur.text in ("-", "!", "~"):
+            op_text = self.advance().text
+            return ast.Unary(op_text, self.parse_unary(), line)
+        return self.parse_primary()
+
+    def parse_primary(self):
+        tok = self.cur
+        if tok.kind == "int":
+            self.advance()
+            return ast.IntLit(_parse_int(tok.text), tok.line)
+        if tok.kind == "float":
+            self.advance()
+            return ast.FloatLit(float(tok.text.replace("_", "")), tok.line)
+        if tok.text in ("true", "false"):
+            self.advance()
+            return ast.IntLit(1 if tok.text == "true" else 0, tok.line)
+        if self.accept("("):
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if tok.kind == "ident":
+            name = self.advance().text
+            if self.check("("):
+                self.advance()
+                args = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return ast.Call(name, args, tok.line)
+            return ast.Var(name, tok.line)
+        raise self.error("expected expression")
+
+
+class _ForBlock:
+    """A statement sequence introduced by for-loop desugaring."""
+
+    def __init__(self, stmts: list, line: int):
+        self.stmts = stmts
+        self.line = line
+
+
+def _parse_int(text: str) -> int:
+    text = text.replace("_", "")
+    return int(text, 16) if text.lower().startswith("0x") else int(text)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse WACC source into an AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,174 @@
+"""Encoder: :class:`Module` -> standard Wasm binary bytes.
+
+The inverse of :mod:`repro.wasm.decoder`; used by the WAT assembler and the
+WACC compiler back end, and exercised by round-trip property tests
+(``decode(encode(m)) == m`` structurally).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.wasm import leb128, opcodes
+from repro.wasm.module import Instr, Module
+from repro.wasm.wtypes import EMPTY_BLOCK, FUNCREF, GlobalType, Limits, ValType
+
+_EXPORT_KIND_BYTES = {"func": 0, "table": 1, "mem": 2, "global": 3}
+
+
+def _name(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return leb128.encode_u(len(raw)) + raw
+
+
+def _limits(limits: Limits) -> bytes:
+    if limits.maximum is None:
+        return b"\x00" + leb128.encode_u(limits.minimum)
+    return (
+        b"\x01" + leb128.encode_u(limits.minimum) + leb128.encode_u(limits.maximum)
+    )
+
+
+def _globaltype(gt: GlobalType) -> bytes:
+    return bytes([gt.valtype, 1 if gt.mutable else 0])
+
+
+def encode_instr(instr: Instr) -> bytes:
+    op, imm_value = instr
+    info = opcodes.OP_TABLE[op]
+    out = bytes([op])
+    imm = info.imm
+    if imm == "none":
+        return out
+    if imm == "block":
+        if imm_value is None:
+            return out + bytes([EMPTY_BLOCK])
+        return out + bytes([ValType(imm_value)])
+    if imm in ("label", "func", "local", "global"):
+        return out + leb128.encode_u(imm_value)
+    if imm == "br_table":
+        targets, default = imm_value
+        body = leb128.encode_u(len(targets))
+        for t in targets:
+            body += leb128.encode_u(t)
+        return out + body + leb128.encode_u(default)
+    if imm == "call_ind":
+        return out + leb128.encode_u(imm_value) + b"\x00"
+    if imm == "mem":
+        align, offset = imm_value
+        return out + leb128.encode_u(align) + leb128.encode_u(offset)
+    if imm == "mem_misc":
+        return out + b"\x00"
+    if imm == "i32":
+        return out + leb128.encode_s(imm_value)
+    if imm == "i64":
+        return out + leb128.encode_s(imm_value)
+    if imm == "f32":
+        return out + struct.pack("<f", imm_value)
+    if imm == "f64":
+        return out + struct.pack("<d", imm_value)
+    raise AssertionError(f"unhandled immediate kind {imm!r}")
+
+
+def _expr(instrs: tuple[Instr, ...]) -> bytes:
+    return b"".join(encode_instr(i) for i in instrs)
+
+
+def _section(section_id: int, payload: bytes) -> bytes:
+    return bytes([section_id]) + leb128.encode_u(len(payload)) + payload
+
+
+def _vec(items: list[bytes]) -> bytes:
+    return leb128.encode_u(len(items)) + b"".join(items)
+
+
+def encode_module(mod: Module) -> bytes:
+    """Serialize a module to the binary format."""
+    out = bytearray(b"\x00asm\x01\x00\x00\x00")
+
+    if mod.types:
+        items = []
+        for ft in mod.types:
+            item = b"\x60" + _vec([bytes([t]) for t in ft.params])
+            item += _vec([bytes([t]) for t in ft.results])
+            items.append(item)
+        out += _section(1, _vec(items))
+
+    if mod.imports:
+        items = []
+        for imp in mod.imports:
+            item = _name(imp.module) + _name(imp.name)
+            if imp.kind == "func":
+                item += b"\x00" + leb128.encode_u(imp.desc)
+            elif imp.kind == "table":
+                item += b"\x01" + bytes([FUNCREF]) + _limits(imp.desc)
+            elif imp.kind == "mem":
+                item += b"\x02" + _limits(imp.desc)
+            elif imp.kind == "global":
+                item += b"\x03" + _globaltype(imp.desc)
+            else:
+                raise ValueError(f"bad import kind {imp.kind!r}")
+            items.append(item)
+        out += _section(2, _vec(items))
+
+    if mod.funcs:
+        out += _section(3, _vec([leb128.encode_u(ti) for ti in mod.funcs]))
+
+    if mod.tables:
+        out += _section(
+            4, _vec([bytes([FUNCREF]) + _limits(t) for t in mod.tables])
+        )
+
+    if mod.mems:
+        out += _section(5, _vec([_limits(m) for m in mod.mems]))
+
+    if mod.globals:
+        items = [_globaltype(g.gtype) + _expr(g.init) for g in mod.globals]
+        out += _section(6, _vec(items))
+
+    if mod.exports:
+        items = [
+            _name(e.name) + bytes([_EXPORT_KIND_BYTES[e.kind]]) + leb128.encode_u(e.index)
+            for e in mod.exports
+        ]
+        out += _section(7, _vec(items))
+
+    if mod.start is not None:
+        out += _section(8, leb128.encode_u(mod.start))
+
+    if mod.elems:
+        items = []
+        for elem in mod.elems:
+            item = leb128.encode_u(elem.table_index) + _expr(elem.offset)
+            item += _vec([leb128.encode_u(f) for f in elem.func_indices])
+            items.append(item)
+        out += _section(9, _vec(items))
+
+    if mod.codes:
+        items = []
+        for code in mod.codes:
+            # run-length encode consecutive identical local types
+            runs: list[tuple[int, ValType]] = []
+            for vt in code.locals:
+                if runs and runs[-1][1] == vt:
+                    runs[-1] = (runs[-1][0] + 1, vt)
+                else:
+                    runs.append((1, vt))
+            body = _vec(
+                [leb128.encode_u(count) + bytes([vt]) for count, vt in runs]
+            ) + _expr(code.body)
+            items.append(leb128.encode_u(len(body)) + body)
+        out += _section(10, _vec(items))
+
+    if mod.datas:
+        items = []
+        for seg in mod.datas:
+            item = leb128.encode_u(seg.mem_index) + _expr(seg.offset)
+            item += leb128.encode_u(len(seg.payload)) + seg.payload
+            items.append(item)
+        out += _section(11, _vec(items))
+
+    for name, payload in mod.customs:
+        out += _section(0, _name(name) + payload)
+
+    return bytes(out)

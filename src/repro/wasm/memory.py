@@ -1,0 +1,90 @@
+"""Sandboxed linear memory.
+
+All plugin data lives in a single resizable ``bytearray``; every access is
+bounds checked and raises :class:`MemoryOutOfBounds` (a trap) on violation.
+This is the mechanism behind WA-RAN's memory-safety story: plugin bugs are
+confined here and can never touch host memory.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.wasm.traps import MemoryOutOfBounds
+from repro.wasm.wtypes import Limits
+
+PAGE_SIZE = 65536
+
+
+class Memory:
+    """One Wasm linear memory instance."""
+
+    def __init__(self, limits: Limits):
+        self.limits = limits
+        self.data = bytearray(limits.minimum * PAGE_SIZE)
+
+    @property
+    def size_pages(self) -> int:
+        return len(self.data) // PAGE_SIZE
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.data)
+
+    def grow(self, delta_pages: int) -> int:
+        """Grow by ``delta_pages``; returns old size in pages, or -1 on failure."""
+        old = self.size_pages
+        new = old + delta_pages
+        maximum = self.limits.maximum if self.limits.maximum is not None else 1 << 16
+        if delta_pages < 0 or new > maximum or new > 1 << 16:
+            return -1
+        self.data.extend(bytes(delta_pages * PAGE_SIZE))
+        return old
+
+    def _check(self, addr: int, size: int) -> None:
+        # addr arrives as an unsigned i32 plus an offset, so it's >= 0,
+        # but defend anyway: host-side callers may pass anything.
+        if addr < 0 or addr + size > len(self.data):
+            raise MemoryOutOfBounds(addr, size, len(self.data))
+
+    # ----- raw byte access (used by hosts and the ABI layer) ---------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        self._check(addr, size)
+        return bytes(self.data[addr : addr + size])
+
+    def write(self, addr: int, payload: bytes) -> None:
+        self._check(addr, len(payload))
+        self.data[addr : addr + len(payload)] = payload
+
+    # ----- typed loads (return Python ints / floats) -----------------------
+
+    def load_int(self, addr: int, size: int, signed: bool) -> int:
+        self._check(addr, size)
+        return int.from_bytes(
+            self.data[addr : addr + size], "little", signed=signed
+        )
+
+    def load_f32(self, addr: int) -> float:
+        self._check(addr, 4)
+        return struct.unpack_from("<f", self.data, addr)[0]
+
+    def load_f64(self, addr: int) -> float:
+        self._check(addr, 8)
+        return struct.unpack_from("<d", self.data, addr)[0]
+
+    # ----- typed stores -----------------------------------------------------
+
+    def store_int(self, addr: int, value: int, size: int) -> None:
+        self._check(addr, size)
+        self.data[addr : addr + size] = (value & ((1 << (size * 8)) - 1)).to_bytes(
+            size, "little"
+        )
+
+    def store_f32(self, addr: int, value: float) -> None:
+        self._check(addr, 4)
+        struct.pack_into("<f", self.data, addr, value)
+
+    def store_f64(self, addr: int, value: float) -> None:
+        self._check(addr, 8)
+        struct.pack_into("<d", self.data, addr, value)

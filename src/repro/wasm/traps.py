@@ -1,0 +1,72 @@
+"""Error hierarchy for the Wasm runtime.
+
+Every failure mode of the runtime maps onto one of these exceptions.  The
+key property WA-RAN relies on is that *all* of them are catchable Python
+exceptions raised out of the interpreter without corrupting host state:
+a plugin that dereferences a null pointer or runs off the end of its linear
+memory raises :class:`Trap`, the host catches it, and the gNB keeps running.
+"""
+
+
+class WasmError(Exception):
+    """Base class for all errors raised by the Wasm runtime."""
+
+
+class DecodeError(WasmError):
+    """The byte stream is not a well-formed Wasm binary."""
+
+
+class ValidationError(WasmError):
+    """The module is well-formed but type-incorrect or structurally invalid."""
+
+
+class LinkError(WasmError):
+    """Instantiation failed: missing or mismatched import, bad start func."""
+
+
+class Trap(WasmError):
+    """A runtime trap: execution of the current plugin call is aborted.
+
+    Traps carry a short machine-readable ``code`` (e.g. ``"oob"``,
+    ``"unreachable"``, ``"integer divide by zero"``) mirroring the spec's
+    trap descriptions, so hosts can classify faults for fault-tolerance
+    policies without string matching on human text.
+    """
+
+    def __init__(self, message: str, code: str = "trap"):
+        super().__init__(message)
+        self.code = code
+
+
+class MemoryOutOfBounds(Trap):
+    """Load/store outside the sandbox's linear memory bounds."""
+
+    def __init__(self, addr: int, size: int, limit: int):
+        super().__init__(
+            f"out of bounds memory access: [{addr}, {addr + size}) "
+            f"exceeds memory size {limit}",
+            code="oob",
+        )
+        self.addr = addr
+        self.size = size
+        self.limit = limit
+
+
+class StackExhausted(Trap):
+    """Call depth exceeded the configured limit."""
+
+    def __init__(self, depth: int):
+        super().__init__(f"call stack exhausted at depth {depth}", code="stack")
+        self.depth = depth
+
+
+class FuelExhausted(Trap):
+    """The instruction budget for this call ran out.
+
+    WA-RAN uses fuel as the execution-time guard rail: a plugin that loops
+    forever is cut off deterministically instead of blowing the slot
+    deadline.
+    """
+
+    def __init__(self):
+        super().__init__("all fuel consumed by WebAssembly", code="fuel")

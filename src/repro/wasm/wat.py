@@ -1,0 +1,667 @@
+"""A WAT (WebAssembly text format) assembler.
+
+Supports the practical subset of WAT used throughout this repository:
+
+- module fields: ``func``, ``memory``, ``data``, ``global``, ``table``,
+  ``elem``, ``import``, ``export``, ``start``
+- named identifiers (``$name``) for functions, locals, globals and labels
+- inline ``(export "...")`` / ``(import "m" "n")`` abbreviations on funcs,
+  memories and globals
+- both folded instruction expressions ``(i32.add (local.get $a) ...)`` and
+  flat instruction sequences, including ``block``/``loop``/``if`` with
+  ``then``/``else`` arms
+- integer literals in decimal and hex, float literals, string literals with
+  escapes for data segments
+
+The output is standard binary Wasm (via :mod:`repro.wasm.encoder`), decoded
+and validated like any other module.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.wasm import opcodes as ops
+from repro.wasm.encoder import encode_module
+from repro.wasm.module import (
+    Code,
+    DataSegment,
+    ElemSegment,
+    Export,
+    Global,
+    Import,
+    Instr,
+    Module,
+)
+from repro.wasm.wtypes import FuncType, GlobalType, Limits, ValType
+
+
+class WatError(ValueError):
+    """Raised for syntax or resolution errors in WAT source."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<blockcomment>\(;.*?;\)) |
+    (?P<comment>;;[^\n]*) |
+    (?P<lparen>\() |
+    (?P<rparen>\)) |
+    (?P<string>"(?:\\.|[^"\\])*") |
+    (?P<atom>[^\s()";]+)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise WatError(f"bad character {text[pos]!r} at offset {pos}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind in ("comment", "blockcomment"):
+            continue
+        tokens.append(m.group())
+    return tokens
+
+
+def _parse_sexprs(tokens: list[str]) -> list[Any]:
+    """Parse a token stream into nested lists; atoms stay strings."""
+    stack: list[list] = [[]]
+    for tok in tokens:
+        if tok == "(":
+            new: list = []
+            stack[-1].append(new)
+            stack.append(new)
+        elif tok == ")":
+            if len(stack) == 1:
+                raise WatError("unbalanced ')'")
+            stack.pop()
+        else:
+            stack[-1].append(tok)
+    if len(stack) != 1:
+        raise WatError("unbalanced '('")
+    return stack[0]
+
+
+def _unescape(string_token: str) -> bytes:
+    body = string_token[1:-1]
+    out = bytearray()
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch != "\\":
+            out.extend(ch.encode("utf-8"))
+            i += 1
+            continue
+        nxt = body[i + 1]
+        if nxt == "n":
+            out.append(10)
+            i += 2
+        elif nxt == "t":
+            out.append(9)
+            i += 2
+        elif nxt == "\\":
+            out.append(92)
+            i += 2
+        elif nxt == '"':
+            out.append(34)
+            i += 2
+        elif re.match(r"[0-9a-fA-F]{2}", body[i + 1 : i + 3]):
+            out.append(int(body[i + 1 : i + 3], 16))
+            i += 3
+        else:
+            raise WatError(f"bad escape \\{nxt}")
+    return bytes(out)
+
+
+def _parse_int(atom: str) -> int:
+    atom = atom.replace("_", "")
+    return int(atom, 16) if atom.lower().startswith(("0x", "-0x", "+0x")) else int(atom)
+
+
+def _parse_float(atom: str) -> float:
+    atom = atom.replace("_", "")
+    if atom in ("inf", "+inf"):
+        return float("inf")
+    if atom == "-inf":
+        return float("-inf")
+    if atom.lstrip("+-").startswith("nan"):
+        return float("nan")
+    return float(atom)
+
+
+_VALTYPES = {"i32": ValType.I32, "i64": ValType.I64, "f32": ValType.F32, "f64": ValType.F64}
+
+
+class _FuncBuilder:
+    """Assembles one function body: locals, labels, instruction stream."""
+
+    def __init__(self, asm: "_Assembler", params: list[tuple[str | None, ValType]]):
+        self.asm = asm
+        self.local_names: dict[str, int] = {}
+        self.locals: list[ValType] = []
+        self.n_params = len(params)
+        for i, (name, _vt) in enumerate(params):
+            if name:
+                self.local_names[name] = i
+        self.instrs: list[Instr] = []
+        self.label_stack: list[str | None] = []
+
+    def add_local(self, name: str | None, vt: ValType) -> None:
+        index = self.n_params + len(self.locals)
+        if name:
+            self.local_names[name] = index
+        self.locals.append(vt)
+
+    def resolve_local(self, tok: str) -> int:
+        if tok.startswith("$"):
+            if tok not in self.local_names:
+                raise WatError(f"unknown local {tok}")
+            return self.local_names[tok]
+        return _parse_int(tok)
+
+    def resolve_label(self, tok: str) -> int:
+        if tok.startswith("$"):
+            for depth, name in enumerate(reversed(self.label_stack)):
+                if name == tok:
+                    return depth
+            raise WatError(f"unknown label {tok}")
+        return _parse_int(tok)
+
+    # ----- instruction emission --------------------------------------------
+
+    def emit_seq(self, items: list[Any]) -> None:
+        i = 0
+        while i < len(items):
+            i = self.emit_one(items, i)
+
+    def emit_one(self, items: list[Any], i: int) -> int:
+        item = items[i]
+        if isinstance(item, list):
+            self.emit_folded(item)
+            return i + 1
+        # flat form: consume mnemonic + any immediates
+        return self.emit_flat(items, i)
+
+    def _block_result(self, parts: list[Any], j: int) -> tuple[ValType | None, int]:
+        if (
+            j < len(parts)
+            and isinstance(parts[j], list)
+            and parts[j]
+            and parts[j][0] == "result"
+        ):
+            if len(parts[j]) != 2:
+                raise WatError("block result must name exactly one type (MVP)")
+            return _VALTYPES[parts[j][1]], j + 1
+        return None, j
+
+    def emit_folded(self, expr: list[Any]) -> None:
+        if not expr or not isinstance(expr[0], str):
+            raise WatError(f"bad instruction expression {expr!r}")
+        head = expr[0]
+
+        if head in ("block", "loop"):
+            j = 1
+            label = None
+            if j < len(expr) and isinstance(expr[j], str) and expr[j].startswith("$"):
+                label = expr[j]
+                j += 1
+            result, j = self._block_result(expr, j)
+            opcode = ops.BLOCK if head == "block" else ops.LOOP
+            self.instrs.append((opcode, result))
+            self.label_stack.append(label)
+            self.emit_seq(expr[j:])
+            self.label_stack.pop()
+            self.instrs.append((ops.END, None))
+            return
+
+        if head == "if":
+            j = 1
+            label = None
+            if j < len(expr) and isinstance(expr[j], str) and expr[j].startswith("$"):
+                label = expr[j]
+                j += 1
+            result, j = self._block_result(expr, j)
+            # condition: everything before the (then ...) arm
+            arms_at = j
+            while arms_at < len(expr) and not (
+                isinstance(expr[arms_at], list)
+                and expr[arms_at]
+                and expr[arms_at][0] == "then"
+            ):
+                arms_at += 1
+            if arms_at == len(expr):
+                raise WatError("folded if requires a (then ...) arm")
+            self.emit_seq(expr[j:arms_at])
+            self.instrs.append((ops.IF, result))
+            self.label_stack.append(label)
+            self.emit_seq(expr[arms_at][1:])
+            rest = expr[arms_at + 1 :]
+            if rest:
+                if not (isinstance(rest[0], list) and rest[0] and rest[0][0] == "else"):
+                    raise WatError("junk after (then ...) arm")
+                self.instrs.append((ops.ELSE, None))
+                self.emit_seq(rest[0][1:])
+            self.label_stack.pop()
+            self.instrs.append((ops.END, None))
+            return
+
+        # generic folded op: children are operand expressions, then the op
+        if head not in ops.NAME_TO_OP:
+            raise WatError(f"unknown instruction {head!r}")
+        if (
+            head == "call_indirect"
+            and len(expr) > 1
+            and isinstance(expr[1], list)
+            and expr[1][:1] == ["type"]
+        ):
+            operand_start = 2
+        else:
+            operand_start = 1 + self._imm_count(head, expr)
+        for child in expr[operand_start:]:
+            if not isinstance(child, list):
+                raise WatError(
+                    f"unexpected atom {child!r} in folded {head} (operands must be folded)"
+                )
+            self.emit_folded(child)
+        self._emit_op(head, expr[1:operand_start])
+
+    def _imm_count(self, head: str, expr: list[Any]) -> int:
+        """How many leading atoms after the mnemonic are immediates."""
+        count = 0
+        for item in expr[1:]:
+            if isinstance(item, list):
+                break
+            count += 1
+        return count
+
+    def emit_flat(self, items: list[Any], i: int) -> int:
+        head = items[i]
+        opcode = ops.NAME_TO_OP.get(head)
+        if head in ("block", "loop", "if", "else", "end"):
+            raise WatError(
+                f"flat {head!r} not supported; use the folded (block ...) form"
+            )
+        if opcode is None:
+            raise WatError(f"unknown instruction {head!r}")
+        info = ops.OP_TABLE[opcode]
+        imms: list[str] = []
+        n_imm = {"none": 0, "mem_misc": 0, "block": 0}.get(info.imm, 1)
+        if info.imm == "mem":
+            # offset=N align=N in any order, both optional
+            n_imm = 0
+            while i + 1 + n_imm < len(items) and isinstance(
+                items[i + 1 + n_imm], str
+            ) and "=" in items[i + 1 + n_imm]:
+                n_imm += 1
+        elif info.imm == "br_table":
+            n_imm = 0
+            while i + 1 + n_imm < len(items) and isinstance(items[i + 1 + n_imm], str) and (
+                items[i + 1 + n_imm].startswith("$")
+                or items[i + 1 + n_imm].lstrip("+-").replace("_", "").isdigit()
+            ):
+                n_imm += 1
+        for k in range(n_imm):
+            imms.append(items[i + 1 + k])
+        self._emit_op(head, imms)
+        return i + 1 + n_imm
+
+    def _emit_op(self, head: str, imms: list[Any]) -> None:
+        opcode = ops.NAME_TO_OP[head]
+        info = ops.OP_TABLE[opcode]
+        kind = info.imm
+        if kind == "none" or kind == "mem_misc":
+            self.instrs.append((opcode, None))
+        elif kind == "i32" or kind == "i64":
+            self.instrs.append((opcode, _parse_int(imms[0])))
+        elif kind == "f32" or kind == "f64":
+            self.instrs.append((opcode, _parse_float(imms[0])))
+        elif kind == "local":
+            self.instrs.append((opcode, self.resolve_local(imms[0])))
+        elif kind == "global":
+            self.instrs.append((opcode, self.asm.resolve_global(imms[0])))
+        elif kind == "func":
+            self.instrs.append((opcode, self.asm.resolve_func(imms[0])))
+        elif kind == "label":
+            self.instrs.append((opcode, self.resolve_label(imms[0])))
+        elif kind == "br_table":
+            targets = tuple(self.resolve_label(t) for t in imms)
+            if not targets:
+                raise WatError("br_table requires at least a default label")
+            self.instrs.append((opcode, (targets[:-1], targets[-1])))
+        elif kind == "call_ind":
+            # imms: (type $t) handled at folded level; accept "(type N)" atom form
+            if not imms:
+                raise WatError("call_indirect requires (type ...) immediate")
+            self.instrs.append((opcode, self.asm.resolve_type_use(imms[0])))
+        elif kind == "mem":
+            align = None
+            offset = 0
+            for imm in imms:
+                key, _, value = imm.partition("=")
+                if key == "offset":
+                    offset = _parse_int(value)
+                elif key == "align":
+                    align_bytes = _parse_int(value)
+                    align = align_bytes.bit_length() - 1
+                else:
+                    raise WatError(f"bad memarg {imm!r}")
+            if align is None:
+                size = {1: 0, 2: 1, 4: 2, 8: 3}
+                natural = {
+                    "8": 0, "16": 1, "32": 2, "64": 3,
+                }
+                # natural alignment from the mnemonic width
+                m = re.search(r"(load|store)(8|16|32)?", head)
+                if m and m.group(2):
+                    align = natural[m.group(2)]
+                elif head.startswith(("i32", "f32")):
+                    align = 2
+                else:
+                    align = 3
+            self.instrs.append((opcode, (align, offset)))
+        else:
+            raise WatError(f"unhandled immediate kind {kind}")
+
+
+class _Assembler:
+    def __init__(self):
+        self.module = Module()
+        self.func_names: dict[str, int] = {}
+        self.global_names: dict[str, int] = {}
+        self.type_keys: dict[FuncType, int] = {}
+        self.pending_bodies: list[tuple[int, list[tuple[str | None, ValType]], list, list]] = []
+        self.start_name: str | None = None
+
+    # ----- index resolution --------------------------------------------------
+
+    def resolve_func(self, tok: str) -> int:
+        if tok.startswith("$"):
+            if tok not in self.func_names:
+                raise WatError(f"unknown function {tok}")
+            return self.func_names[tok]
+        return _parse_int(tok)
+
+    def resolve_global(self, tok: str) -> int:
+        if tok.startswith("$"):
+            if tok not in self.global_names:
+                raise WatError(f"unknown global {tok}")
+            return self.global_names[tok]
+        return _parse_int(tok)
+
+    def resolve_type_use(self, tok) -> int:
+        if isinstance(tok, list) and tok and tok[0] == "type":
+            tok = tok[1]
+        return _parse_int(tok)
+
+    def intern_type(self, ft: FuncType) -> int:
+        if ft not in self.type_keys:
+            self.type_keys[ft] = len(self.module.types)
+            self.module.types.append(ft)
+        return self.type_keys[ft]
+
+    # ----- field parsing -------------------------------------------------------
+
+    @staticmethod
+    def _parse_sig(parts: list[Any], j: int):
+        params: list[tuple[str | None, ValType]] = []
+        results: list[ValType] = []
+        while j < len(parts) and isinstance(parts[j], list) and parts[j]:
+            head = parts[j][0]
+            if head == "param":
+                body = parts[j][1:]
+                if body and isinstance(body[0], str) and body[0].startswith("$"):
+                    params.append((body[0], _VALTYPES[body[1]]))
+                else:
+                    params.extend((None, _VALTYPES[t]) for t in body)
+                j += 1
+            elif head == "result":
+                results.extend(_VALTYPES[t] for t in parts[j][1:])
+                j += 1
+            else:
+                break
+        return params, results, j
+
+    def field_func(self, parts: list[Any]) -> None:
+        j = 1
+        name = None
+        if j < len(parts) and isinstance(parts[j], str) and parts[j].startswith("$"):
+            name = parts[j]
+            j += 1
+        export_name = None
+        import_names = None
+        while j < len(parts) and isinstance(parts[j], list) and parts[j]:
+            if parts[j][0] == "export":
+                export_name = _unescape(parts[j][1]).decode()
+                j += 1
+            elif parts[j][0] == "import":
+                import_names = (
+                    _unescape(parts[j][1]).decode(),
+                    _unescape(parts[j][2]).decode(),
+                )
+                j += 1
+            else:
+                break
+        params, results, j = self._parse_sig(parts, j)
+        functype = FuncType(tuple(vt for _, vt in params), tuple(results))
+        type_index = self.intern_type(functype)
+
+        if import_names is not None:
+            # imported function: must come before any defined function
+            if self.module.funcs:
+                raise WatError("imported funcs must precede defined funcs")
+            index = len(self.module.imported("func"))
+            self.module.imports.append(
+                Import(import_names[0], import_names[1], "func", type_index)
+            )
+            if name:
+                self.func_names[name] = index
+            return
+
+        index = self.module.num_imported_funcs + len(self.module.funcs)
+        self.module.funcs.append(type_index)
+        if name:
+            self.func_names[name] = index
+        if export_name is not None:
+            self.module.exports.append(Export(export_name, "func", index))
+
+        # locals
+        locals_decl: list[tuple[str | None, ValType]] = []
+        while j < len(parts) and isinstance(parts[j], list) and parts[j] and parts[j][0] == "local":
+            body = parts[j][1:]
+            if body and isinstance(body[0], str) and body[0].startswith("$"):
+                locals_decl.append((body[0], _VALTYPES[body[1]]))
+            else:
+                locals_decl.extend((None, _VALTYPES[t]) for t in body)
+            j += 1
+        self.pending_bodies.append((index, params, locals_decl, parts[j:]))
+
+    def field_memory(self, parts: list[Any]) -> None:
+        j = 1
+        if j < len(parts) and isinstance(parts[j], str) and parts[j].startswith("$"):
+            j += 1  # memory names unused (only one memory)
+        export_name = None
+        if j < len(parts) and isinstance(parts[j], list) and parts[j][0] == "export":
+            export_name = _unescape(parts[j][1]).decode()
+            j += 1
+        minimum = _parse_int(parts[j])
+        maximum = _parse_int(parts[j + 1]) if j + 1 < len(parts) else None
+        self.module.mems.append(Limits(minimum, maximum))
+        if export_name:
+            self.module.exports.append(Export(export_name, "mem", 0))
+
+    def field_global(self, parts: list[Any]) -> None:
+        j = 1
+        name = None
+        if j < len(parts) and isinstance(parts[j], str) and parts[j].startswith("$"):
+            name = parts[j]
+            j += 1
+        export_name = None
+        if j < len(parts) and isinstance(parts[j], list) and parts[j][0] == "export":
+            export_name = _unescape(parts[j][1]).decode()
+            j += 1
+        spec = parts[j]
+        if isinstance(spec, list) and spec[0] == "mut":
+            gtype = GlobalType(_VALTYPES[spec[1]], True)
+        else:
+            gtype = GlobalType(_VALTYPES[spec], False)
+        j += 1
+        init_expr = parts[j]
+        builder = _FuncBuilder(self, [])
+        builder.emit_folded(init_expr)
+        builder.instrs.append((ops.END, None))
+        index = self.module.num_imported_globals + len(self.module.globals)
+        self.module.globals.append(Global(gtype, tuple(builder.instrs)))
+        if name:
+            self.global_names[name] = index
+        if export_name:
+            self.module.exports.append(Export(export_name, "global", index))
+
+    def field_data(self, parts: list[Any]) -> None:
+        j = 1
+        offset_expr = parts[j]
+        builder = _FuncBuilder(self, [])
+        builder.emit_folded(offset_expr)
+        builder.instrs.append((ops.END, None))
+        payload = b"".join(_unescape(s) for s in parts[j + 1 :])
+        self.module.datas.append(DataSegment(0, tuple(builder.instrs), payload))
+
+    def field_table(self, parts: list[Any]) -> None:
+        j = 1
+        if isinstance(parts[j], str) and parts[j].startswith("$"):
+            j += 1
+        minimum = _parse_int(parts[j])
+        j += 1
+        maximum = None
+        if j < len(parts) and isinstance(parts[j], str) and parts[j] != "funcref":
+            maximum = _parse_int(parts[j])
+            j += 1
+        self.module.tables.append(Limits(minimum, maximum))
+
+    def field_elem(self, parts: list[Any]) -> None:
+        offset_expr = parts[1]
+        builder = _FuncBuilder(self, [])
+        builder.emit_folded(offset_expr)
+        builder.instrs.append((ops.END, None))
+        funcs = tuple(self.resolve_func(t) for t in parts[2:] if t != "func")
+        self.module.elems.append(ElemSegment(0, tuple(builder.instrs), funcs))
+
+    def field_export(self, parts: list[Any]) -> None:
+        export_name = _unescape(parts[1]).decode()
+        kind_expr = parts[2]
+        kind = kind_expr[0]
+        if kind == "func":
+            self.module.exports.append(
+                Export(export_name, "func", self.resolve_func(kind_expr[1]))
+            )
+        elif kind == "memory":
+            self.module.exports.append(Export(export_name, "mem", 0))
+        elif kind == "global":
+            self.module.exports.append(
+                Export(export_name, "global", self.resolve_global(kind_expr[1]))
+            )
+        else:
+            raise WatError(f"unsupported export kind {kind}")
+
+    def field_import(self, parts: list[Any]) -> None:
+        module_name = _unescape(parts[1]).decode()
+        item_name = _unescape(parts[2]).decode()
+        desc = parts[3]
+        if desc[0] == "func":
+            j = 1
+            fname = None
+            if j < len(desc) and isinstance(desc[j], str) and desc[j].startswith("$"):
+                fname = desc[j]
+                j += 1
+            params, results, _ = self._parse_sig(desc, j)
+            functype = FuncType(tuple(vt for _, vt in params), tuple(results))
+            type_index = self.intern_type(functype)
+            if self.module.funcs:
+                raise WatError("imported funcs must precede defined funcs")
+            index = len(self.module.imported("func"))
+            self.module.imports.append(Import(module_name, item_name, "func", type_index))
+            if fname:
+                self.func_names[fname] = index
+        elif desc[0] == "memory":
+            minimum = _parse_int(desc[1])
+            maximum = _parse_int(desc[2]) if len(desc) > 2 else None
+            self.module.imports.append(
+                Import(module_name, item_name, "mem", Limits(minimum, maximum))
+            )
+        else:
+            raise WatError(f"unsupported import kind {desc[0]}")
+
+    # ----- top level -----------------------------------------------------------
+
+    def assemble(self, text: str) -> Module:
+        sexprs = _parse_sexprs(_tokenize(text))
+        if len(sexprs) == 1 and isinstance(sexprs[0], list) and sexprs[0][:1] == ["module"]:
+            fields = sexprs[0][1:]
+        else:
+            fields = sexprs
+
+        dispatch = {
+            "func": self.field_func,
+            "memory": self.field_memory,
+            "global": self.field_global,
+            "data": self.field_data,
+            "table": self.field_table,
+            "elem": self.field_elem,
+            "export": self.field_export,
+            "import": self.field_import,
+        }
+        deferred: list[list] = []
+        # two passes: first non-func fields that define names funcs may use,
+        # while keeping func declaration order for indices: process in order,
+        # but bodies are assembled after all names are known.
+        for field in fields:
+            if not isinstance(field, list) or not field:
+                raise WatError(f"bad module field {field!r}")
+            head = field[0]
+            if head == "start":
+                self.start_name = field[1]
+                continue
+            if head not in dispatch:
+                raise WatError(f"unsupported module field {head!r}")
+            if head in ("elem", "export", "data"):
+                deferred.append(field)
+            else:
+                dispatch[head](field)
+        for field in deferred:
+            dispatch[field[0]](field)
+
+        # assemble bodies now that all function/global names are known
+        codes: dict[int, Code] = {}
+        for index, params, locals_decl, body in self.pending_bodies:
+            builder = _FuncBuilder(self, params)
+            for lname, lvt in locals_decl:
+                builder.add_local(lname, lvt)
+            builder.emit_seq(body)
+            builder.instrs.append((ops.END, None))
+            codes[index] = Code(
+                tuple(vt for _, vt in locals_decl), tuple(builder.instrs)
+            )
+        n_imported = self.module.num_imported_funcs
+        self.module.codes = [codes[n_imported + i] for i in range(len(self.module.funcs))]
+
+        if self.start_name is not None:
+            self.module.start = self.resolve_func(self.start_name)
+        return self.module
+
+
+def parse_module(text: str) -> Module:
+    """Assemble WAT text into a :class:`Module` (unvalidated)."""
+    return _Assembler().assemble(text)
+
+
+def assemble(text: str) -> bytes:
+    """Assemble WAT text directly to binary Wasm bytes."""
+    return encode_module(parse_module(text))

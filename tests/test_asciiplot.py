@@ -1,0 +1,46 @@
+"""Tests for the terminal series plotter."""
+
+from repro.experiments.asciiplot import render_series
+
+
+class TestRenderSeries:
+    def test_empty(self):
+        assert render_series({}) == "(no data)"
+
+    def test_single_series_bounds(self):
+        chart = render_series({"x": [(0.0, 1.0), (1.0, 5.0)]}, width=20, height=6)
+        assert "5" in chart
+        assert "1" in chart
+        assert "* = x" in chart
+
+    def test_two_series_distinct_glyphs(self):
+        chart = render_series(
+            {"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 1)]}, width=20, height=6
+        )
+        assert "* = a" in chart
+        assert "o = b" in chart
+        body = chart.split("+")[0]
+        assert "*" in body and "o" in body
+
+    def test_constant_series_no_crash(self):
+        chart = render_series({"flat": [(0, 3.0), (1, 3.0), (2, 3.0)]})
+        assert "flat" in chart
+
+    def test_shape_visible(self):
+        """A rising series must put later glyphs on higher rows."""
+        rising = [(float(i), float(i)) for i in range(10)]
+        chart = render_series({"up": rising}, width=30, height=10)
+        rows = [r for r in chart.splitlines() if "|" in r and "+" not in r]
+        first_star_row = next(i for i, r in enumerate(rows) if "*" in r)
+        last_star_row = max(i for i, r in enumerate(rows) if "*" in r)
+        # row 0 is the top: the max value appears above the min value
+        assert first_star_row < last_star_row
+
+    def test_y_label_rendered(self):
+        chart = render_series({"s": [(0, 0), (1, 1)]}, y_label="Mb/s")
+        assert "Mb/s" in chart
+
+    def test_axis_and_ticks(self):
+        chart = render_series({"s": [(2.0, 0), (7.0, 1)]}, width=30)
+        assert "+---" in chart
+        assert "2" in chart and "7" in chart

@@ -1,0 +1,88 @@
+"""Tests for the BLER model and its gNB integration."""
+
+import pytest
+
+from repro.abi import SchedulerPlugin
+from repro.channel import FixedMcsChannel
+from repro.gnb import GnbHost, SliceRuntime, UeContext
+from repro.phy.bler import LinkErrorModel, bler
+from repro.phy.mcs import cqi_to_mcs
+from repro.plugins import plugin_wasm
+from repro.sched import TargetRateInterSlice
+from repro.traffic import FullBufferSource
+
+
+class TestBlerCurve:
+    def test_operating_point_is_ten_percent(self):
+        for cqi in range(1, 16):
+            assert bler(cqi_to_mcs(cqi), cqi) == pytest.approx(0.1)
+
+    def test_above_capability_degrades_steeply(self):
+        cqi = 7
+        supported = cqi_to_mcs(cqi)
+        values = [bler(supported + d, cqi) for d in range(0, 5)]
+        assert values == sorted(values)
+        assert values[-1] > 0.9
+
+    def test_below_capability_improves(self):
+        cqi = 10
+        supported = cqi_to_mcs(cqi)
+        assert bler(max(supported - 4, 0), cqi) < bler(supported, cqi)
+
+    def test_cqi_zero_never_decodes(self):
+        assert bler(0, 0) == 1.0
+
+    def test_monotone_in_mcs(self):
+        cqi = 9
+        values = [bler(m, cqi) for m in range(29)]
+        assert values == sorted(values)
+
+
+class TestLinkErrorModel:
+    def test_measured_bler_near_target(self):
+        model = LinkErrorModel(seed=1)
+        cqi = 12
+        mcs = cqi_to_mcs(cqi)
+        for _ in range(10_000):
+            model.transmit(mcs, cqi)
+        assert model.measured_bler == pytest.approx(0.1, abs=0.02)
+
+    def test_deterministic_with_seed(self):
+        a = LinkErrorModel(seed=5)
+        b = LinkErrorModel(seed=5)
+        draws_a = [a.transmit(10, 8) for _ in range(100)]
+        draws_b = [b.transmit(10, 8) for _ in range(100)]
+        assert draws_a == draws_b
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError):
+            LinkErrorModel(target_bler=1.5)
+
+
+class TestGnbIntegration:
+    def _run(self, error_model):
+        gnb = GnbHost(
+            inter_slice=TargetRateInterSlice({1: 50e6}, slot_duration_s=1e-3),
+            error_model=error_model,
+        )
+        runtime = gnb.add_slice(SliceRuntime(1, "mvno"))
+        runtime.use_plugin(SchedulerPlugin.load(plugin_wasm("rr"), name="rr"))
+        gnb.attach_ue(UeContext(1, 1, FixedMcsChannel(20), FullBufferSource()))
+        gnb.run(1500)
+        gnb.finish_meters()
+        return gnb
+
+    def test_errors_reduce_throughput_proportionally(self):
+        clean = self._run(None)
+        lossy = self._run(LinkErrorModel(seed=2))
+        clean_rate = clean.slices[1].meter.average_bps(1.5)
+        lossy_rate = lossy.slices[1].meter.average_bps(1.5)
+        assert lossy_rate == pytest.approx(clean_rate * 0.9, rel=0.05)
+
+    def test_errored_bytes_are_retransmitted_not_lost(self):
+        gnb = self._run(LinkErrorModel(seed=3))
+        ue = gnb.ues[1]
+        # full buffer: nothing is ever dropped by the air interface itself
+        assert ue.buffer.dropped_bytes == 0 or ue.buffer.capacity_bytes  # cap drops only
+        assert gnb.error_model.tb_error > 50
+        assert gnb.error_model.tb_ok > 500

@@ -1,0 +1,285 @@
+"""Tests for the serialization codecs and bit-width adaptation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codecs import (
+    Asn1Field,
+    Asn1LiteCodec,
+    Asn1Schema,
+    CodecError,
+    JsonCodec,
+    PbField,
+    PbMessage,
+    PbWireCodec,
+)
+from repro.codecs.bitadapt import FieldSpec, adapt_message, narrow, widen
+from repro.codecs.pbwire import (
+    read_varint,
+    write_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value,encoded",
+        [(0, b"\x00"), (1, b"\x01"), (127, b"\x7f"), (128, b"\x80\x01"), (300, b"\xac\x02")],
+    )
+    def test_known_values(self, value, encoded):
+        assert write_varint(value) == encoded
+        assert read_varint(encoded, 0) == (value, len(encoded))
+
+    def test_negative_int64_is_ten_bytes(self):
+        assert len(write_varint(-1)) == 10
+
+    def test_truncated(self):
+        with pytest.raises(CodecError):
+            read_varint(b"\x80", 0)
+
+    @given(st.integers(0, (1 << 64) - 1))
+    def test_roundtrip(self, value):
+        assert read_varint(write_varint(value), 0)[0] == value
+
+    @given(st.integers(-(1 << 63), (1 << 63) - 1))
+    def test_zigzag_roundtrip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+    def test_zigzag_small_negatives_are_small(self):
+        assert zigzag_encode(-1) == 1
+        assert zigzag_encode(1) == 2
+        assert zigzag_encode(-2) == 3
+
+
+KPI = PbMessage(
+    "Kpi",
+    [
+        PbField(1, "ue_id", "int64"),
+        PbField(2, "cqi", "int64"),
+        PbField(3, "throughput", "double"),
+        PbField(4, "delta", "sint64"),
+        PbField(5, "connected", "bool"),
+        PbField(6, "tag", "string"),
+        PbField(7, "raw", "bytes"),
+        PbField(8, "samples", "double", repeated=True),
+    ],
+)
+
+REPORT = PbMessage(
+    "Report",
+    [
+        PbField(1, "cell_id", "int64"),
+        PbField(2, "kpis", "message", repeated=True, message=KPI),
+    ],
+)
+
+
+class TestPbWire:
+    def test_roundtrip_all_kinds(self):
+        msg = {
+            "ue_id": 42,
+            "cqi": 15,
+            "throughput": 12.5,
+            "delta": -3,
+            "connected": True,
+            "tag": "embb",
+            "raw": b"\x00\x01\xff",
+            "samples": [1.0, 2.5, -3.25],
+        }
+        codec = PbWireCodec(KPI)
+        assert codec.decode(codec.encode(msg)) == msg
+
+    def test_nested_messages(self):
+        msg = {
+            "cell_id": 7,
+            "kpis": [{"ue_id": 1, "cqi": 9}, {"ue_id": 2, "cqi": 12}],
+        }
+        codec = PbWireCodec(REPORT)
+        assert codec.decode(codec.encode(msg)) == msg
+
+    def test_missing_fields_omitted(self):
+        codec = PbWireCodec(KPI)
+        assert codec.decode(codec.encode({"ue_id": 5})) == {"ue_id": 5}
+
+    def test_unknown_fields_skipped(self):
+        # encode with a schema that has an extra field; decode with KPI
+        extended = PbMessage(
+            "KpiV2", KPI.fields + [PbField(99, "extra", "string")]
+        )
+        payload = extended.encode({"ue_id": 1, "extra": "future-feature"})
+        assert PbWireCodec(KPI).decode(payload) == {"ue_id": 1}
+
+    def test_negative_int64(self):
+        codec = PbWireCodec(KPI)
+        assert codec.decode(codec.encode({"ue_id": -12}))["ue_id"] == -12
+
+    def test_packed_repeated_scalars(self):
+        codec = PbWireCodec(KPI)
+        payload = codec.encode({"samples": [1.0, 2.0]})
+        # packed: one tag + length + 16 payload bytes
+        assert len(payload) == 1 + 1 + 16
+
+    def test_wire_type_mismatch_rejected(self):
+        # field 1 declared varint, give it a length-delimited payload
+        bad = write_varint((1 << 3) | 2) + write_varint(3) + b"abc"
+        with pytest.raises(CodecError, match="wire type"):
+            PbWireCodec(KPI).decode(bad)
+
+    def test_duplicate_field_numbers_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PbMessage("Bad", [PbField(1, "a", "int64"), PbField(1, "b", "bool")])
+
+    def test_bad_utf8_rejected(self):
+        bad = write_varint((6 << 3) | 2) + write_varint(2) + b"\xff\xfe"
+        with pytest.raises(CodecError, match="utf-8"):
+            PbWireCodec(KPI).decode(bad)
+
+    @given(
+        st.integers(-(1 << 62), 1 << 62),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.binary(max_size=64),
+    )
+    def test_roundtrip_property(self, ue_id, tput, raw):
+        codec = PbWireCodec(KPI)
+        msg = {"ue_id": ue_id, "throughput": tput, "raw": raw}
+        assert codec.decode(codec.encode(msg)) == msg
+
+
+E2_CONTROL = Asn1Schema(
+    "E2Control",
+    [
+        Asn1Field("msg_type", "int", 0, 15),
+        Asn1Field("power", "int", 0, 255),  # vendor A: 8-bit power
+        Asn1Field("prb_quota", "int", 0, 275),
+        Asn1Field("urgent", "bool"),
+        Asn1Field("payload", "bytes", optional=True),
+    ],
+)
+
+
+class TestAsn1Lite:
+    def test_field_widths_are_per_style(self):
+        fields = {f.name: f for f in E2_CONTROL.fields}
+        assert fields["msg_type"].width == 4
+        assert fields["power"].width == 8
+        assert fields["prb_quota"].width == 9  # 276 values -> 9 bits
+        assert fields["urgent"].width == 1
+
+    def test_roundtrip(self):
+        msg = {"msg_type": 3, "power": 200, "prb_quota": 52, "urgent": True}
+        codec = Asn1LiteCodec(E2_CONTROL)
+        assert codec.decode(codec.encode(msg)) == msg
+
+    def test_optional_bytes(self):
+        msg = {
+            "msg_type": 1, "power": 0, "prb_quota": 275, "urgent": False,
+            "payload": b"hi",
+        }
+        codec = Asn1LiteCodec(E2_CONTROL)
+        assert codec.decode(codec.encode(msg)) == msg
+
+    def test_bit_size_exact(self):
+        msg = {"msg_type": 1, "power": 2, "prb_quota": 3, "urgent": True}
+        # presence bit for payload + 4 + 8 + 9 + 1
+        assert E2_CONTROL.bit_size(msg) == 1 + 4 + 8 + 9 + 1
+
+    def test_out_of_range_rejected(self):
+        codec = Asn1LiteCodec(E2_CONTROL)
+        with pytest.raises(CodecError, match="outside"):
+            codec.encode({"msg_type": 1, "power": 256, "prb_quota": 0, "urgent": False})
+
+    def test_missing_required_rejected(self):
+        codec = Asn1LiteCodec(E2_CONTROL)
+        with pytest.raises(CodecError, match="missing"):
+            codec.encode({"msg_type": 1})
+
+    def test_truncated_stream_rejected(self):
+        codec = Asn1LiteCodec(E2_CONTROL)
+        payload = codec.encode(
+            {"msg_type": 1, "power": 9, "prb_quota": 0, "urgent": False,
+             "payload": b"abcdef"}
+        )
+        with pytest.raises(CodecError, match="exhausted"):
+            codec.decode(payload[:2])
+
+    def test_incompatible_schemas_really_are_incompatible(self):
+        """The paper's motivating bug: 8-bit vs 12-bit power fields."""
+        vendor_b = Asn1Schema(
+            "E2ControlB",
+            [
+                Asn1Field("msg_type", "int", 0, 15),
+                Asn1Field("power", "int", 0, 4095),  # vendor B: 12-bit
+                Asn1Field("prb_quota", "int", 0, 275),
+                Asn1Field("urgent", "bool"),
+            ],
+        )
+        msg = {"msg_type": 3, "power": 200, "prb_quota": 52, "urgent": True}
+        wire_a = Asn1Schema(
+            "E2ControlA",
+            [f for f in E2_CONTROL.fields if not f.optional],
+        ).encode(msg)
+        decoded_by_b = vendor_b.decode(wire_a + b"\x00")
+        assert decoded_by_b["power"] != msg["power"]  # silent corruption
+
+    @given(
+        st.integers(0, 15), st.integers(0, 255), st.integers(0, 275), st.booleans()
+    )
+    def test_roundtrip_property(self, mt, power, quota, urgent):
+        codec = Asn1LiteCodec(E2_CONTROL)
+        msg = {"msg_type": mt, "power": power, "prb_quota": quota, "urgent": urgent}
+        assert codec.decode(codec.encode(msg)) == msg
+
+
+class TestJsonCodec:
+    def test_roundtrip_with_bytes(self):
+        codec = JsonCodec()
+        msg = {"a": 1, "b": [1.5, "x"], "raw": b"\x00\xff", "nested": {"c": True}}
+        assert codec.decode(codec.encode(msg)) == msg
+
+    def test_deterministic(self):
+        codec = JsonCodec()
+        assert codec.encode({"b": 1, "a": 2}) == codec.encode({"a": 2, "b": 1})
+
+    def test_bad_payload(self):
+        with pytest.raises(CodecError):
+            JsonCodec().decode(b"{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(CodecError, match="object"):
+            JsonCodec().decode(b"[1,2]")
+
+
+class TestBitAdapt:
+    def test_full_scale_maps_to_full_scale(self):
+        assert widen(255, 8, 12) == 4095
+        assert widen(0, 8, 12) == 0
+
+    def test_half_scale(self):
+        assert widen(128, 8, 12) == pytest.approx(128 * 4095 / 255, abs=1)
+
+    def test_identity(self):
+        assert widen(77, 8, 8) == 77
+
+    def test_narrow_roundtrip_within_one_lsb(self):
+        for v in range(0, 256, 7):
+            wide = widen(v, 8, 12)
+            back = narrow(wide, 12, 8)
+            assert abs(back - v) <= 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            widen(256, 8, 12)
+
+    def test_adapt_message(self):
+        src = {"power": FieldSpec("power", 8)}
+        dst = {"power": FieldSpec("power", 12)}
+        msg = {"power": 255, "other": 5}
+        adapted = adapt_message(msg, src, dst)
+        assert adapted == {"power": 4095, "other": 5}
+
+    @given(st.integers(0, 255))
+    def test_widen_monotone(self, v):
+        if v < 255:
+            assert widen(v, 8, 12) <= widen(v + 1, 8, 12)

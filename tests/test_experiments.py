@@ -1,0 +1,97 @@
+"""Quick-run tests of every experiment driver (short durations).
+
+The benches run the full-length versions; these keep the drivers covered
+in the ordinary test suite and pin their shape criteria.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_fig5a,
+    run_fig5b,
+    run_fig5c,
+    run_fig5d,
+    run_safety_table,
+)
+
+
+class TestFig5a:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5a(duration_s=2.0)
+
+    def test_all_targets_met(self, result):
+        assert result.all_targets_met(tolerance=0.15)
+
+    def test_rows_structure(self, result):
+        rows = result.rows()
+        assert len(rows) == 3
+        targets = [t for _n, t, _a, _r in rows]
+        assert targets == [3.0, 12.0, 15.0]
+
+    def test_series_nonempty(self, result):
+        for sid, series in result.series.items():
+            assert len(series) >= 2
+
+    def test_custom_mvno_set(self):
+        mvnos = [(1, "solo", "rr", 5e6, [(1, 28)])]
+        result = run_fig5a(duration_s=1.0, mvnos=mvnos)
+        assert result.rows()[0][1] == 5.0
+        assert result.all_targets_met(tolerance=0.2)
+
+
+class TestFig5b:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5b(phase_duration_s=3.0)
+
+    def test_shape_holds(self, result):
+        checks = result.shape_holds()
+        assert all(checks.values()), checks
+
+    def test_mt_hits_target_on_best_ue(self, result):
+        assert result.phase_means["mt"][3] == pytest.approx(22.0, rel=0.1)
+
+    def test_swap_did_not_interrupt_service(self, result):
+        total_by_ue = {ue: sum(v for _t, v in s) for ue, s in result.series.items()}
+        assert all(v > 0 for v in total_by_ue.values())
+
+
+class TestFig5c:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5c(duration_s=4.0, sample_dt_s=0.5)
+
+    def test_plugin_bounded(self, result):
+        assert result.plugin_is_bounded(cap_mib=8.0)
+
+    def test_native_linear(self, result):
+        assert result.native_grows_linearly()
+
+    def test_contrast(self, result):
+        assert result.final_native_mib() > result.final_plugin_mib()
+
+
+class TestFig5d:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5d(calls=60, ue_counts=(1, 10), plugins=("mt", "pf"))
+
+    def test_grows_with_ues(self, result):
+        assert result.grows_with_ues()
+
+    def test_cells_complete(self, result):
+        assert len(result.cells) == 4
+        for cell in result.cells:
+            assert cell.p50_us > 0
+            assert cell.p99_us >= cell.p50_us
+
+
+class TestSafety:
+    def test_table(self):
+        result = run_safety_table()
+        assert result.sandbox_always_survives()
+        assert result.native_always_dies()
+        assert {r.fault for r in result.rows} == {
+            "null_deref", "oob_access", "double_free",
+        }

@@ -1,0 +1,186 @@
+"""Tests for the metrics substrate."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    Accumulator,
+    RateMeter,
+    ReservoirQuantile,
+    StreamingQuantile,
+    TimeSeries,
+)
+
+
+class TestAccumulator:
+    def test_basic_stats(self):
+        acc = Accumulator()
+        acc.extend([1.0, 2.0, 3.0, 4.0])
+        assert acc.count == 4
+        assert acc.mean == 2.5
+        assert acc.minimum == 1.0
+        assert acc.maximum == 4.0
+        assert acc.total == 10.0
+        assert acc.variance == pytest.approx(1.25)
+
+    def test_single_sample(self):
+        acc = Accumulator()
+        acc.add(7.0)
+        assert acc.mean == 7.0
+        assert acc.variance == 0.0
+        assert acc.stddev == 0.0
+
+    def test_merge_equals_sequential(self):
+        values = [random.Random(1).gauss(10, 3) for _ in range(500)]
+        a, b, whole = Accumulator(), Accumulator(), Accumulator()
+        a.extend(values[:200])
+        b.extend(values[200:])
+        whole.extend(values)
+        merged = a.merge(b)
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean)
+        assert merged.variance == pytest.approx(whole.variance)
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+
+    def test_merge_with_empty(self):
+        a = Accumulator()
+        a.extend([1.0, 2.0])
+        merged = a.merge(Accumulator())
+        assert merged.count == 2
+        assert merged.mean == 1.5
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_welford_matches_naive(self, values):
+        acc = Accumulator()
+        acc.extend(values)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert acc.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+        assert acc.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+
+
+class TestStreamingQuantile:
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            StreamingQuantile(1.5)
+
+    def test_small_sample_exact(self):
+        q = StreamingQuantile(0.5)
+        for v in [5.0, 1.0, 3.0]:
+            q.add(v)
+        assert q.value == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            StreamingQuantile(0.5).value
+
+    @pytest.mark.parametrize("target", [0.5, 0.9, 0.99])
+    def test_uniform_stream_accuracy(self, target):
+        rng = random.Random(42)
+        est = StreamingQuantile(target)
+        exact = ReservoirQuantile(capacity=200_000)
+        for _ in range(20_000):
+            v = rng.random()
+            est.add(v)
+            exact.add(v)
+        assert est.value == pytest.approx(exact.quantile(target), abs=0.02)
+
+    def test_exponential_tail(self):
+        rng = random.Random(7)
+        est = StreamingQuantile(0.99)
+        values = [rng.expovariate(1.0) for _ in range(50_000)]
+        for v in values:
+            est.add(v)
+        exact = sorted(values)[int(0.99 * len(values))]
+        assert est.value == pytest.approx(exact, rel=0.1)
+
+    def test_monotone_under_sorted_input(self):
+        est = StreamingQuantile(0.5)
+        for i in range(1000):
+            est.add(float(i))
+        assert est.value == pytest.approx(500, rel=0.05)
+
+
+class TestReservoirQuantile:
+    def test_exact_below_capacity(self):
+        r = ReservoirQuantile(capacity=100)
+        r.extend(range(11))
+        assert r.quantile(0.5) == 5.0
+        assert r.quantile(0.0) == 0.0
+        assert r.quantile(1.0) == 10.0
+
+    def test_interpolation(self):
+        r = ReservoirQuantile()
+        r.extend([0.0, 10.0])
+        assert r.quantile(0.25) == 2.5
+
+    def test_subsampling_stays_unbiased(self):
+        r = ReservoirQuantile(capacity=500, seed=3)
+        for i in range(50_000):
+            r.add(float(i % 1000))
+        assert r.quantile(0.5) == pytest.approx(500, abs=60)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ReservoirQuantile().quantile(0.5)
+
+
+class TestRateMeter:
+    def test_constant_rate(self):
+        meter = RateMeter(window_s=1.0)
+        for ms in range(0, 5000):
+            meter.add(ms / 1000.0, 125)  # 125 B/ms = 1 Mb/s
+        meter.finish(5.0)
+        rates = [bps for _, bps in meter.series()]
+        assert len(rates) == 5
+        for bps in rates:
+            assert bps == pytest.approx(1e6, rel=0.01)
+
+    def test_average(self):
+        meter = RateMeter()
+        meter.add(0.5, 1000)
+        meter.add(1.5, 3000)
+        assert meter.average_bps(2.0) == pytest.approx(4000 * 8 / 2)
+
+    def test_idle_windows_reported_as_zero(self):
+        meter = RateMeter(window_s=1.0)
+        meter.add(0.1, 100)
+        meter.add(3.5, 100)
+        meter.finish(4.0)
+        rates = [bps for _, bps in meter.series()]
+        assert rates[1] == 0.0
+        assert rates[2] == 0.0
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            RateMeter(window_s=0)
+
+
+class TestTimeSeries:
+    def test_record_and_mean(self):
+        ts = TimeSeries("x")
+        for i in range(10):
+            ts.record(i * 0.1, float(i))
+        assert ts.mean_between(0.0, 0.5) == pytest.approx(2.0)
+        assert ts.last() == 9.0
+        assert len(ts) == 10
+
+    def test_mean_of_empty_interval_raises(self):
+        ts = TimeSeries()
+        ts.record(1.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.mean_between(5.0, 6.0)
+
+    def test_downsample(self):
+        ts = TimeSeries()
+        for i in range(100):
+            ts.record(i * 0.01, 1.0 if i < 50 else 3.0)
+        ds = ts.downsample(0.5)
+        assert len(ds) == 2
+        assert ds.values[0] == pytest.approx(1.0)
+        assert ds.values[1] == pytest.approx(3.0)

@@ -1,0 +1,133 @@
+"""Transport tests: framing, in-proc and TCP networks."""
+
+import pytest
+
+from repro.netio import (
+    FrameError,
+    InProcNetwork,
+    NetworkError,
+    TcpNetwork,
+    read_frame,
+    write_frame,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = write_frame("ric", b"\x01\x02payload")
+        buf = bytearray(frame)
+
+        def recv_exact(n):
+            out = bytes(buf[:n])
+            del buf[:n]
+            return out
+
+        source, payload = read_frame(recv_exact)
+        assert source == "ric"
+        assert payload == b"\x01\x02payload"
+
+    def test_empty_payload(self):
+        frame = write_frame("x", b"")
+        buf = bytearray(frame)
+
+        def recv_exact(n):
+            out = bytes(buf[:n])
+            del buf[:n]
+            return out
+
+        assert read_frame(recv_exact) == ("x", b"")
+
+    def test_oversized_rejected(self):
+        with pytest.raises(FrameError):
+            write_frame("x", b"\x00" * (17 << 20))
+
+
+class TestInProcNetwork:
+    def test_send_recv(self):
+        net = InProcNetwork()
+        a = net.endpoint("a")
+        b = net.endpoint("b")
+        a.send("b", b"hello")
+        assert b.recv() == ("a", b"hello")
+
+    def test_recv_empty_returns_none(self):
+        net = InProcNetwork()
+        a = net.endpoint("a")
+        assert a.recv() is None
+
+    def test_unknown_dest(self):
+        net = InProcNetwork()
+        a = net.endpoint("a")
+        with pytest.raises(NetworkError):
+            a.send("ghost", b"x")
+
+    def test_duplicate_name(self):
+        net = InProcNetwork()
+        net.endpoint("a")
+        with pytest.raises(NetworkError):
+            net.endpoint("a")
+
+    def test_ordering_preserved(self):
+        net = InProcNetwork()
+        a = net.endpoint("a")
+        b = net.endpoint("b")
+        for i in range(10):
+            a.send("b", bytes([i]))
+        assert [p[0] for _, p in b.drain()] == list(range(10))
+
+    def test_bidirectional(self):
+        net = InProcNetwork()
+        a = net.endpoint("a")
+        b = net.endpoint("b")
+        a.send("b", b"ping")
+        src, _ = b.recv()
+        b.send(src, b"pong")
+        assert a.recv() == ("b", b"pong")
+
+
+class TestTcpNetwork:
+    def test_send_recv_over_sockets(self):
+        net = TcpNetwork()
+        try:
+            a = net.endpoint("a")
+            b = net.endpoint("b")
+            a.send("b", b"over tcp")
+            assert b.recv(timeout=5.0) == ("a", b"over tcp")
+        finally:
+            net.close()
+
+    def test_many_messages(self):
+        net = TcpNetwork()
+        try:
+            a = net.endpoint("a")
+            b = net.endpoint("b")
+            for i in range(50):
+                a.send("b", i.to_bytes(4, "little"))
+            got = []
+            while len(got) < 50:
+                item = b.recv(timeout=5.0)
+                assert item is not None
+                got.append(int.from_bytes(item[1], "little"))
+            assert got == list(range(50))
+        finally:
+            net.close()
+
+    def test_binary_safety(self):
+        net = TcpNetwork()
+        try:
+            a = net.endpoint("a")
+            b = net.endpoint("b")
+            payload = bytes(range(256)) * 10
+            a.send("b", payload)
+            assert b.recv(timeout=5.0) == ("a", payload)
+        finally:
+            net.close()
+
+    def test_unknown_dest(self):
+        net = TcpNetwork()
+        try:
+            a = net.endpoint("a")
+            with pytest.raises(NetworkError):
+                a.send("ghost", b"x")
+        finally:
+            net.close()

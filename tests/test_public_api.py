@@ -1,0 +1,76 @@
+"""Public API surface checks: docs and exports stay honest."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.wasm",
+    "repro.wacc",
+    "repro.abi",
+    "repro.codecs",
+    "repro.cryptolite",
+    "repro.metrics",
+    "repro.phy",
+    "repro.channel",
+    "repro.traffic",
+    "repro.sched",
+    "repro.gnb",
+    "repro.core5g",
+    "repro.netio",
+    "repro.e2",
+    "repro.ric",
+    "repro.plugins",
+    "repro.hostsim",
+    "repro.experiments",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_importable_with_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__, f"{package} lacks a module docstring"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_entries_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            if package == "repro":
+                importlib.import_module(f"repro.{name}")
+            else:
+                assert hasattr(module, name), f"{package}.__all__ lists {name}"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_runs(self):
+        """The exact code from README.md's quickstart section."""
+        from repro.abi import SchedulerPlugin, sanitize_plugin
+        from repro.plugins import plugin_wasm
+        from repro.sched import UeSchedInfo
+
+        wasm = plugin_wasm("pf")
+        sanitize_plugin(wasm)
+        plugin = SchedulerPlugin.load(wasm)
+
+        ues = [UeSchedInfo(ue_id=1, mcs=28, cqi=15, buffer_bytes=100_000,
+                           avg_tput_bps=5e6)]
+        call = plugin.schedule(52, ues, slot=0)
+        assert call.grants and call.elapsed_us > 0 and call.fuel_used
+
+        assert plugin.swap(plugin_wasm("rr")) == 1
+
+    def test_package_docstring_snippet_runs(self):
+        from repro.abi import SchedulerPlugin
+        from repro.plugins import plugin_wasm
+        from repro.sched import UeSchedInfo
+
+        plugin = SchedulerPlugin.load(plugin_wasm("pf"))
+        ues = [UeSchedInfo(1, 28, 15, 100_000, 5e6)]
+        assert plugin.schedule(52, ues, slot=0).grants

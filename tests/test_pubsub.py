@@ -1,0 +1,124 @@
+"""Tests for the pub/sub broker."""
+
+import pytest
+
+from repro.netio import InProcNetwork, TcpNetwork
+from repro.netio.pubsub import Broker, PubSubClient
+
+
+def make(retain=0):
+    net = InProcNetwork()
+    broker = Broker(net.endpoint("broker"), retain=retain)
+    a = PubSubClient(net.endpoint("a"), "broker")
+    b = PubSubClient(net.endpoint("b"), "broker")
+    return net, broker, a, b
+
+
+class TestBroker:
+    def test_basic_fanout(self):
+        _net, broker, a, b = make()
+        a.subscribe("kpi")
+        b.subscribe("kpi")
+        broker.step()
+        a.publish("kpi", b"report-1")
+        broker.step()
+        assert [(t, p) for t, _s, p in a.poll()] == [("kpi", b"report-1")]
+        assert [(t, p) for t, _s, p in b.poll()] == [("kpi", b"report-1")]
+
+    def test_topic_isolation(self):
+        _net, broker, a, b = make()
+        a.subscribe("alpha")
+        b.subscribe("beta")
+        broker.step()
+        a.publish("beta", b"x")
+        broker.step()
+        assert a.poll() == []
+        assert [p for _t, _s, p in b.poll()] == [b"x"]
+
+    def test_unsubscribe(self):
+        _net, broker, a, b = make()
+        a.subscribe("t")
+        broker.step()
+        a.unsubscribe("t")
+        broker.step()
+        b.publish("t", b"x")
+        broker.step()
+        assert a.poll() == []
+
+    def test_sequence_numbers_monotone(self):
+        _net, broker, a, b = make()
+        a.subscribe("t")
+        broker.step()
+        for i in range(5):
+            b.publish("t", bytes([i]))
+        broker.step()
+        seqs = [s for _t, s, _p in a.poll()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5
+
+    def test_retention_for_late_subscriber(self):
+        _net, broker, a, b = make(retain=3)
+        b.publish("t", b"m1")
+        b.publish("t", b"m2")
+        b.publish("t", b"m3")
+        b.publish("t", b"m4")
+        broker.step()
+        a.subscribe("t")  # late
+        broker.step()
+        payloads = [p for _t, _s, p in a.poll()]
+        assert payloads == [b"m2", b"m3", b"m4"]  # last 3 retained
+
+    def test_no_retention_by_default(self):
+        _net, broker, a, b = make()
+        b.publish("t", b"m1")
+        broker.step()
+        a.subscribe("t")
+        broker.step()
+        assert a.poll() == []
+
+    def test_garbage_frames_ignored(self):
+        net, broker, a, _b = make()
+        raw = net.endpoint("raw")
+        raw.send("broker", b"\xff\xff")
+        broker.step()  # must not raise
+        assert broker.published == 0
+
+    def test_binary_payloads(self):
+        _net, broker, a, b = make()
+        a.subscribe("bin")
+        broker.step()
+        payload = bytes(range(256))
+        b.publish("bin", payload)
+        broker.step()
+        assert [p for _t, _s, p in a.poll()] == [payload]
+
+    def test_over_tcp(self):
+        net = TcpNetwork()
+        try:
+            broker = Broker(net.endpoint("broker"))
+            a = PubSubClient(net.endpoint("a"), "broker")
+            b = PubSubClient(net.endpoint("b"), "broker")
+            a.subscribe("t")
+            deadline_poll(broker, lambda: broker.endpoint.recv(timeout=2.0))
+            broker.step()
+            b.publish("t", b"over tcp")
+            import time
+
+            for _ in range(100):
+                broker.step()
+                got = a.poll()
+                if got:
+                    assert got[0][2] == b"over tcp"
+                    return
+                time.sleep(0.02)
+            pytest.fail("message never delivered over TCP")
+        finally:
+            net.close()
+
+
+def deadline_poll(broker, recv):
+    """Wait for one queued message to arrive at the broker (TCP latency)."""
+    item = recv()
+    if item is not None:
+        # put it back through the broker path by re-queuing
+        broker.endpoint._queue.put(item)  # type: ignore[attr-defined]

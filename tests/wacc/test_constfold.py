@@ -1,0 +1,99 @@
+"""Tests for WACC constant folding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wacc import compile_module, compile_source
+from repro.wasm import Instance, decode_module
+from repro.wasm import opcodes as op
+from repro.wasm.traps import Trap
+
+i32s = st.integers(-(1 << 31), (1 << 31) - 1)
+
+
+def const_count(source: str) -> int:
+    """i32.const instructions in the optimized build's bodies."""
+    module = compile_module(source, optimize=True)
+    return sum(
+        1 for code in module.codes for opcode, _ in code.body
+        if opcode == op.I32_CONST
+    )
+
+
+def run(source: str, func: str, *args, optimize=True):
+    inst = Instance(decode_module(compile_source(source, optimize=optimize)))
+    return inst.call(func, *args)
+
+
+class TestFolding:
+    def test_arith_chain_folds_to_one_const(self):
+        source = "export fn f() -> i32 { return 2 + 3 * 4 - 1; }"
+        assert const_count(source) == 1
+        assert run(source, "f") == 13
+
+    def test_wrapping_preserved(self):
+        source = "export fn f() -> i32 { return 2147483647 + 1; }"
+        assert run(source, "f") == run(source, "f", optimize=False) == -(1 << 31)
+
+    def test_shift_semantics(self):
+        source = "export fn f() -> i32 { return 1 << 33; }"
+        assert run(source, "f") == 2  # count mod 32
+
+    def test_division_by_zero_not_folded(self):
+        source = "export fn f() -> i32 { return 1 / 0; }"
+        with pytest.raises(Trap):
+            run(source, "f")
+
+    def test_signed_division_truncates(self):
+        source = "export fn f() -> i32 { return -7 / 2; }"
+        assert run(source, "f") == -3
+
+    def test_unary_folds(self):
+        source = "export fn f() -> i32 { return ~(-1) + !0; }"
+        assert const_count(source) == 1
+        assert run(source, "f") == 1
+
+    def test_float_folds(self):
+        source = "export fn f() -> f64 { return 1.5 * 2.0 + 0.25; }"
+        assert run(source, "f") == 3.25
+
+    def test_comparison_folds(self):
+        source = "export fn f() -> i32 { return 3 < 5; }"
+        assert const_count(source) == 1
+        assert run(source, "f") == 1
+
+    def test_inlining_exposes_folds(self):
+        """After inlining `header()`, 1024 + 16 folds to 1040 in f's body.
+
+        (The now-unused `header` function still exists - WACC does no dead
+        code elimination - so count constants in f's body only.)
+        """
+        source = """
+            fn header() -> i32 { return 1024; }
+            export fn f() -> i32 { return header() + 16; }
+        """
+        module = compile_module(source, optimize=True)
+        f_body = module.codes[-1].body
+        consts = [imm for opcode, imm in f_body if opcode == op.I32_CONST]
+        assert consts == [1040]
+        assert run(source, "f") == 1040
+
+    @given(i32s, i32s)
+    @settings(max_examples=30, deadline=None)
+    def test_folded_equals_runtime(self, a, b):
+        """Compile-time fold must equal the interpreter's runtime result."""
+        source_folded = f"export fn f() -> i32 {{ return ({a}) + ({b}); }}"
+        source_runtime = """
+            export fn f(a: i32, b: i32) -> i32 { return a + b; }
+        """
+        assert run(source_folded, "f") == run(source_runtime, "f", a, b)
+
+    @given(i32s, st.integers(-(1 << 31), -1) | st.integers(1, (1 << 31) - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_folded_div_equals_runtime(self, a, b):
+        if a == -(1 << 31) and b == -1:
+            return
+        source_folded = f"export fn f() -> i32 {{ return ({a}) / ({b}); }}"
+        source_runtime = "export fn f(a: i32, b: i32) -> i32 { return a / b; }"
+        assert run(source_folded, "f") == run(source_runtime, "f", a, b)

@@ -1,0 +1,166 @@
+"""Tests for the WACC function-inlining optimization.
+
+The invariant that matters: optimized and unoptimized builds are
+*observationally identical* - same results, same traps - the optimized one
+just executes fewer call instructions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wacc import compile_source
+from repro.wasm import Instance, decode_module, validate_module
+
+
+def build(source: str, optimize: bool) -> Instance:
+    return Instance(decode_module(compile_source(source, optimize=optimize)))
+
+
+ACCESSOR_CHAIN = """
+memory 2 8;
+fn base() -> i32 { return 1000; }
+fn addr(i: i32) -> i32 { return base() + i * 8; }
+fn val(i: i32) -> i32 { return load32(addr(i)); }
+export fn sum(n: i32) -> i32 {
+    let acc: i32 = 0;
+    let i: i32 = 0;
+    while (i < n) {
+        store32(addr(i), i * 3);
+        acc = acc + val(i);
+        i = i + 1;
+    }
+    return acc;
+}
+"""
+
+
+class TestEquivalence:
+    def test_accessor_chain_same_result(self):
+        fast = build(ACCESSOR_CHAIN, True)
+        slow = build(ACCESSOR_CHAIN, False)
+        for n in (0, 1, 5, 50):
+            assert fast.call("sum", n) == slow.call("sum", n)
+
+    def test_optimized_uses_less_fuel(self):
+        fast = build(ACCESSOR_CHAIN, True)
+        slow = build(ACCESSOR_CHAIN, False)
+        fast.call("sum", 50, fuel=10**9)
+        fast_fuel = 10**9 - fast.store.fuel
+        slow.call("sum", 50, fuel=10**9)
+        slow_fuel = 10**9 - slow.store.fuel
+        assert fast_fuel < slow_fuel
+
+    def test_optimized_module_validates(self):
+        validate_module(decode_module(compile_source(ACCESSOR_CHAIN, optimize=True)))
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_arith_helpers_equivalent(self, a, b):
+        source = """
+            fn sq(x: i32) -> i32 { return x * x; }
+            fn twice(x: i32) -> i32 { return x + x; }
+            export fn f(a: i32, b: i32) -> i32 {
+                return sq(a) + twice(b) - sq(b);
+            }
+        """
+        assert build(source, True).call("f", a, b) == build(source, False).call(
+            "f", a, b
+        )
+
+    def test_all_shipped_plugins_equivalent(self):
+        """Every shipped scheduler plugin: -O0 == -O1 on a fixed input."""
+        from repro.abi import SchedulerPlugin
+        from repro.plugins import plugin_source
+        from repro.sched import UeSchedInfo
+
+        ues = [
+            UeSchedInfo(1, 28, 15, 500_000, 2e6),
+            UeSchedInfo(2, 12, 8, 100_000, 8e6),
+            UeSchedInfo(3, 20, 11, 0, 1e6),
+        ]
+        for name in ("rr", "pf", "mt"):
+            src = plugin_source(name)
+            fast = SchedulerPlugin.load(compile_source(src, optimize=True), name=name)
+            slow = SchedulerPlugin.load(compile_source(src, optimize=False), name=name)
+            slow.host.limits.fuel = 50_000_000
+            for slot in range(4):
+                got_fast = {g.ue_id: g.prbs for g in fast.schedule(52, ues, slot).grants}
+                got_slow = {g.ue_id: g.prbs for g in slow.schedule(52, ues, slot).grants}
+                assert got_fast == got_slow, (name, slot)
+
+
+class TestInliningRules:
+    def _call_count(self, source: str) -> int:
+        """Number of call instructions in the compiled module."""
+        from repro.wacc import compile_module
+        from repro.wasm import opcodes as op
+
+        module = compile_module(source, optimize=True)
+        return sum(
+            1 for code in module.codes for opcode, _ in code.body if opcode == op.CALL
+        )
+
+    def test_simple_accessor_inlined(self):
+        source = """
+            fn double(x: i32) -> i32 { return x * 2; }
+            export fn f(a: i32) -> i32 { return double(a); }
+        """
+        assert self._call_count(source) == 0
+
+    def test_chain_collapses(self):
+        assert self._call_count("""
+            fn a(x: i32) -> i32 { return x + 1; }
+            fn b(x: i32) -> i32 { return a(x) + 1; }
+            fn c(x: i32) -> i32 { return b(x) + 1; }
+            export fn f(v: i32) -> i32 { return c(v); }
+        """) == 0
+
+    def test_multi_statement_not_inlined(self):
+        source = """
+            global g: i32 = 0;
+            fn bump(x: i32) -> i32 { g = g + 1; return x; }
+            export fn f(a: i32) -> i32 { return bump(a); }
+        """
+        assert self._call_count(source) == 1
+
+    def test_param_used_twice_with_complex_arg_not_inlined(self):
+        source = """
+            memory 2 8;
+            fn sq(x: i32) -> i32 { return x * x; }
+            export fn f(a: i32) -> i32 { return sq(load32(a)); }
+        """
+        # inlining would evaluate load32(a) twice; must stay a call
+        assert self._call_count(source) == 1
+
+    def test_param_used_twice_with_trivial_arg_inlined(self):
+        source = """
+            fn sq(x: i32) -> i32 { return x * x; }
+            export fn f(a: i32) -> i32 { return sq(a); }
+        """
+        assert self._call_count(source) == 0
+
+    def test_unused_param_with_side_effect_not_inlined(self):
+        source = """
+            global g: i32 = 0;
+            fn first(a: i32, b: i32) -> i32 { return a; }
+            fn bump() -> i32 { g = g + 1; return g; }
+            export fn f(x: i32) -> i32 { return first(x, bump()); }
+            export fn get() -> i32 { return g; }
+        """
+        # dropping bump() would lose the side effect
+        assert self._call_count(source) >= 1
+        inst = build(source, True)
+        inst.call("f", 5)
+        assert inst.call("get") == 1
+
+    def test_recursive_function_not_inlined(self):
+        # a single-return recursive fn contains a call -> not inlinable
+        source = """
+            export fn fib(n: i32) -> i32 {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+        """
+        inst = build(source, True)
+        assert inst.call("fib", 10) == 55

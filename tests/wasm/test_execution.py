@@ -1,0 +1,511 @@
+"""End-to-end execution tests: WAT -> binary -> decode -> validate -> run."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.wasm import Instance, Store, decode_module
+from repro.wasm.traps import FuelExhausted, StackExhausted, Trap
+from repro.wasm.wat import assemble
+
+
+def run(wat: str, func: str, *args, fuel=None, imports=None):
+    inst = Instance(decode_module(assemble(wat)), imports=imports)
+    return inst.call(func, *args, fuel=fuel)
+
+
+def make(wat: str, imports=None) -> Instance:
+    return Instance(decode_module(assemble(wat)), imports=imports)
+
+
+ADD = """
+(module
+  (func (export "add") (param i32 i32) (result i32)
+    (i32.add (local.get 0) (local.get 1))))
+"""
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert run(ADD, "add", 2, 3) == 5
+
+    def test_add_wraps(self):
+        assert run(ADD, "add", 0x7FFFFFFF, 1) == -(1 << 31)
+
+    def test_sub_negative_result(self):
+        wat = """(module (func (export "f") (result i32)
+                   (i32.sub (i32.const 3) (i32.const 10))))"""
+        assert run(wat, "f") == -7
+
+    def test_mul_i64(self):
+        wat = """(module (func (export "f") (param i64 i64) (result i64)
+                   (i64.mul (local.get 0) (local.get 1))))"""
+        assert run(wat, "f", 1 << 40, 3) == 3 << 40
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3)],
+    )
+    def test_div_s_truncates_toward_zero(self, a, b, expected):
+        wat = """(module (func (export "f") (param i32 i32) (result i32)
+                   (i32.div_s (local.get 0) (local.get 1))))"""
+        assert run(wat, "f", a, b) == expected
+
+    def test_div_by_zero_traps(self):
+        wat = """(module (func (export "f") (param i32) (result i32)
+                   (i32.div_u (local.get 0) (i32.const 0))))"""
+        with pytest.raises(Trap) as exc:
+            run(wat, "f", 1)
+        assert exc.value.code == "div0"
+
+    def test_div_s_overflow_traps(self):
+        wat = """(module (func (export "f") (result i32)
+                   (i32.div_s (i32.const -2147483648) (i32.const -1))))"""
+        with pytest.raises(Trap) as exc:
+            run(wat, "f")
+        assert exc.value.code == "overflow"
+
+    @pytest.mark.parametrize(
+        "a,b,expected", [(7, 3, 1), (-7, 3, -1), (7, -3, 1), (-7, -3, -1)]
+    )
+    def test_rem_s_sign_follows_dividend(self, a, b, expected):
+        wat = """(module (func (export "f") (param i32 i32) (result i32)
+                   (i32.rem_s (local.get 0) (local.get 1))))"""
+        assert run(wat, "f", a, b) == expected
+
+    def test_shr_s_arithmetic(self):
+        wat = """(module (func (export "f") (param i32 i32) (result i32)
+                   (i32.shr_s (local.get 0) (local.get 1))))"""
+        assert run(wat, "f", -8, 1) == -4
+
+    def test_shr_u_logical(self):
+        wat = """(module (func (export "f") (param i32 i32) (result i32)
+                   (i32.shr_u (local.get 0) (local.get 1))))"""
+        assert run(wat, "f", -8, 1) == 0x7FFFFFFC
+
+    def test_shift_count_wraps_mod_32(self):
+        wat = """(module (func (export "f") (param i32 i32) (result i32)
+                   (i32.shl (local.get 0) (local.get 1))))"""
+        assert run(wat, "f", 1, 33) == 2
+
+    def test_rotl(self):
+        wat = """(module (func (export "f") (param i32 i32) (result i32)
+                   (i32.rotl (local.get 0) (local.get 1))))"""
+        assert run(wat, "f", 0x80000001, 1) == 3
+
+    def test_clz_ctz_popcnt(self):
+        wat = """(module
+          (func (export "clz") (param i32) (result i32) (i32.clz (local.get 0)))
+          (func (export "ctz") (param i32) (result i32) (i32.ctz (local.get 0)))
+          (func (export "pop") (param i32) (result i32) (i32.popcnt (local.get 0))))"""
+        inst = make(wat)
+        assert inst.call("clz", 1) == 31
+        assert inst.call("clz", 0) == 32
+        assert inst.call("ctz", 8) == 3
+        assert inst.call("ctz", 0) == 32
+        assert inst.call("pop", 0xFF) == 8
+
+    @given(st.integers(-(1 << 31), (1 << 31) - 1), st.integers(-(1 << 31), (1 << 31) - 1))
+    def test_add_matches_python_semantics(self, a, b):
+        result = run(ADD, "add", a, b)
+        expected = (a + b + (1 << 31)) % (1 << 32) - (1 << 31)
+        assert result == expected
+
+
+class TestFloats:
+    def test_f64_add(self):
+        wat = """(module (func (export "f") (param f64 f64) (result f64)
+                   (f64.add (local.get 0) (local.get 1))))"""
+        assert run(wat, "f", 1.5, 2.25) == 3.75
+
+    def test_f32_rounds_to_single_precision(self):
+        wat = """(module (func (export "f") (param f32) (result f32)
+                   (f32.add (local.get 0) (f32.const 1.0))))"""
+        # 0.1 is not representable in f32; result must be the f32 rounding
+        result = run(wat, "f", 0.1)
+        assert result != 1.1
+        assert abs(result - 1.1) < 1e-6
+
+    def test_f64_div_by_zero_is_inf(self):
+        wat = """(module (func (export "f") (param f64) (result f64)
+                   (f64.div (local.get 0) (f64.const 0.0))))"""
+        assert run(wat, "f", 1.0) == math.inf
+        assert run(wat, "f", -1.0) == -math.inf
+
+    def test_f64_zero_div_zero_is_nan(self):
+        wat = """(module (func (export "f") (result f64)
+                   (f64.div (f64.const 0.0) (f64.const 0.0))))"""
+        assert math.isnan(run(wat, "f"))
+
+    def test_sqrt(self):
+        wat = """(module (func (export "f") (param f64) (result f64)
+                   (f64.sqrt (local.get 0))))"""
+        assert run(wat, "f", 9.0) == 3.0
+        assert math.isnan(run(wat, "f", -1.0))
+
+    def test_min_nan_propagates(self):
+        wat = """(module (func (export "f") (param f64 f64) (result f64)
+                   (f64.min (local.get 0) (local.get 1))))"""
+        assert math.isnan(run(wat, "f", math.nan, 1.0))
+
+    def test_nearest_half_to_even(self):
+        wat = """(module (func (export "f") (param f64) (result f64)
+                   (f64.nearest (local.get 0))))"""
+        assert run(wat, "f", 2.5) == 2.0
+        assert run(wat, "f", 3.5) == 4.0
+        assert run(wat, "f", -2.5) == -2.0
+
+    def test_trunc_conversion_traps_on_nan(self):
+        wat = """(module (func (export "f") (param f64) (result i32)
+                   (i32.trunc_f64_s (local.get 0))))"""
+        with pytest.raises(Trap):
+            run(wat, "f", math.nan)
+
+    def test_trunc_conversion_traps_on_overflow(self):
+        wat = """(module (func (export "f") (param f64) (result i32)
+                   (i32.trunc_f64_s (local.get 0))))"""
+        with pytest.raises(Trap):
+            run(wat, "f", 3e10)
+        assert run(wat, "f", 2147483647.0) == 2147483647
+
+    def test_convert_u(self):
+        wat = """(module (func (export "f") (param i32) (result f64)
+                   (f64.convert_i32_u (local.get 0))))"""
+        assert run(wat, "f", -1) == 4294967295.0
+
+    def test_reinterpret_roundtrip(self):
+        wat = """(module (func (export "f") (param f64) (result f64)
+                   (f64.reinterpret_i64 (i64.reinterpret_f64 (local.get 0)))))"""
+        assert run(wat, "f", 3.14159) == 3.14159
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        wat = """(module (func (export "f") (param i32) (result i32)
+          (if (result i32) (local.get 0)
+            (then (i32.const 10))
+            (else (i32.const 20)))))"""
+        assert run(wat, "f", 1) == 10
+        assert run(wat, "f", 0) == 20
+
+    def test_if_without_else(self):
+        wat = """(module (func (export "f") (param i32) (result i32) (local $r i32)
+          (local.set $r (i32.const 1))
+          (if (local.get 0) (then (local.set $r (i32.const 99))))
+          (local.get $r)))"""
+        assert run(wat, "f", 1) == 99
+        assert run(wat, "f", 0) == 1
+
+    def test_loop_sum_1_to_n(self):
+        wat = """(module (func (export "sum") (param $n i32) (result i32)
+          (local $i i32) (local $acc i32)
+          (block $exit
+            (loop $top
+              (br_if $exit (i32.gt_s (local.get $i) (local.get $n)))
+              (local.set $acc (i32.add (local.get $acc) (local.get $i)))
+              (local.set $i (i32.add (local.get $i) (i32.const 1)))
+              (br $top)))
+          (local.get $acc)))"""
+        assert run(wat, "sum", 10) == 55
+        assert run(wat, "sum", 0) == 0
+        assert run(wat, "sum", 100) == 5050
+
+    def test_nested_blocks_br_outer(self):
+        wat = """(module (func (export "f") (result i32) (local $r i32)
+          (block $outer
+            (block $inner
+              (local.set $r (i32.const 1))
+              (br $outer)
+              )
+            (local.set $r (i32.const 2)))
+          (local.get $r)))"""
+        assert run(wat, "f") == 1
+
+    def test_br_table(self):
+        wat = """(module (func (export "f") (param i32) (result i32) (local $r i32)
+          (block $a (block $b (block $c
+            (br_table $a $b $c (local.get 0)))
+            (return (i32.const 30)))
+            (return (i32.const 20)))
+          (i32.const 10)))"""
+        assert run(wat, "f", 0) == 10
+        assert run(wat, "f", 1) == 20
+        assert run(wat, "f", 2) == 30
+        assert run(wat, "f", 99) == 30  # default = last label
+
+    def test_return_early(self):
+        wat = """(module (func (export "f") (param i32) (result i32)
+          (if (local.get 0) (then (return (i32.const 1))))
+          (i32.const 0)))"""
+        assert run(wat, "f", 5) == 1
+        assert run(wat, "f", 0) == 0
+
+    def test_unreachable_traps(self):
+        wat = """(module (func (export "f") unreachable))"""
+        with pytest.raises(Trap) as exc:
+            run(wat, "f")
+        assert exc.value.code == "unreachable"
+
+    def test_select(self):
+        wat = """(module (func (export "f") (param i32) (result i32)
+          (select (i32.const 7) (i32.const 8) (local.get 0))))"""
+        assert run(wat, "f", 1) == 7
+        assert run(wat, "f", 0) == 8
+
+    def test_block_result_value(self):
+        wat = """(module (func (export "f") (result i32)
+          (block (result i32) (i32.const 42))))"""
+        assert run(wat, "f") == 42
+
+    def test_br_with_value_from_block(self):
+        wat = """(module (func (export "f") (param i32) (result i32)
+          (block $b (result i32)
+            (if (local.get 0) (then (br $b (i32.const 1) )))
+            (i32.const 2))))"""
+        assert run(wat, "f", 1) == 1
+        assert run(wat, "f", 0) == 2
+
+
+class TestCalls:
+    def test_direct_call(self):
+        wat = """(module
+          (func $double (param i32) (result i32)
+            (i32.mul (local.get 0) (i32.const 2)))
+          (func (export "quad") (param i32) (result i32)
+            (call $double (call $double (local.get 0)))))"""
+        assert run(wat, "quad", 3) == 12
+
+    def test_recursion_factorial(self):
+        wat = """(module
+          (func $fact (export "fact") (param i32) (result i32)
+            (if (result i32) (i32.le_s (local.get 0) (i32.const 1))
+              (then (i32.const 1))
+              (else (i32.mul (local.get 0)
+                      (call $fact (i32.sub (local.get 0) (i32.const 1))))))))"""
+        assert run(wat, "fact", 10) == 3628800
+
+    def test_infinite_recursion_exhausts_stack(self):
+        wat = """(module (func $f (export "f") (call $f)))"""
+        with pytest.raises(StackExhausted):
+            run(wat, "f")
+
+    def test_call_indirect(self):
+        wat = """(module
+          (table 2 funcref)
+          (func $a (result i32) (i32.const 11))
+          (func $b (result i32) (i32.const 22))
+          (elem (i32.const 0) $a $b)
+          (func (export "pick") (param i32) (result i32)
+            (call_indirect (type 0) (local.get 0))))"""
+        # type 0 is (result i32) because $a/$b intern it first
+        assert run(wat, "pick", 0) == 11
+        assert run(wat, "pick", 1) == 22
+
+    def test_call_indirect_oob_traps(self):
+        wat = """(module
+          (table 1 funcref)
+          (func $a (result i32) (i32.const 1))
+          (elem (i32.const 0) $a)
+          (func (export "pick") (param i32) (result i32)
+            (call_indirect (type 0) (local.get 0))))"""
+        with pytest.raises(Trap) as exc:
+            run(wat, "pick", 5)
+        assert exc.value.code == "table_oob"
+
+    def test_call_indirect_signature_mismatch_traps(self):
+        wat = """(module
+          (table 1 funcref)
+          (func $a (param i32) (result i32) (local.get 0))
+          (elem (i32.const 0) $a)
+          (func (export "f") (result i32)
+            (call_indirect (type 1) (i32.const 0))))"""
+        # type 1 is () -> i32 (f's own type) -- mismatch with $a's (i32) -> i32
+        with pytest.raises(Trap) as exc:
+            run(wat, "f")
+        assert exc.value.code == "sig"
+
+
+class TestHostFunctions:
+    def test_host_import_called(self):
+        calls = []
+
+        from repro.wasm import HostFunc
+        from repro.wasm.wtypes import FuncType, ValType
+
+        def log(caller, value):
+            calls.append(value)
+            return value * 2
+
+        wat = """(module
+          (import "env" "log" (func $log (param i32) (result i32)))
+          (func (export "f") (param i32) (result i32)
+            (call $log (local.get 0))))"""
+        ft = FuncType((ValType.I32,), (ValType.I32,))
+        inst = make(wat, imports={"env": {"log": HostFunc(ft, log, "log")}})
+        assert inst.call("f", 21) == 42
+        assert calls == [21]
+
+    def test_host_can_read_plugin_memory(self):
+        from repro.wasm import HostFunc
+        from repro.wasm.wtypes import FuncType, ValType
+
+        seen = {}
+
+        def peek(caller, addr, length):
+            seen["bytes"] = caller.memory.read(addr, length)
+
+        wat = """(module
+          (import "env" "peek" (func $peek (param i32 i32)))
+          (memory (export "memory") 1)
+          (data (i32.const 16) "hello")
+          (func (export "f") (call $peek (i32.const 16) (i32.const 5))))"""
+        ft = FuncType((ValType.I32, ValType.I32), ())
+        inst = make(wat, imports={"env": {"peek": HostFunc(ft, peek, "peek")}})
+        inst.call("f")
+        assert seen["bytes"] == b"hello"
+
+
+class TestFuel:
+    def test_infinite_loop_exhausts_fuel(self):
+        wat = """(module (func (export "spin") (loop $l (br $l))))"""
+        with pytest.raises(FuelExhausted):
+            run(wat, "spin", fuel=10_000)
+
+    def test_enough_fuel_completes(self):
+        wat = """(module (func (export "sum") (param $n i32) (result i32)
+          (local $i i32) (local $acc i32)
+          (block $exit (loop $top
+            (br_if $exit (i32.ge_s (local.get $i) (local.get $n)))
+            (local.set $acc (i32.add (local.get $acc) (local.get $i)))
+            (local.set $i (i32.add (local.get $i) (i32.const 1)))
+            (br $top)))
+          (local.get $acc)))"""
+        assert run(wat, "sum", 100, fuel=100_000) == 4950
+
+    def test_fuel_none_disables_metering(self):
+        assert run(ADD, "add", 1, 2, fuel=None) == 3
+
+
+class TestGlobalsAndMemory:
+    def test_global_get_set(self):
+        wat = """(module
+          (global $g (mut i32) (i32.const 5))
+          (func (export "bump") (result i32)
+            (global.set $g (i32.add (global.get $g) (i32.const 1)))
+            (global.get $g)))"""
+        inst = make(wat)
+        assert inst.call("bump") == 6
+        assert inst.call("bump") == 7
+
+    def test_memory_store_load(self):
+        wat = """(module (memory 1)
+          (func (export "f") (param i32 i32) (result i32)
+            (i32.store (local.get 0) (local.get 1))
+            (i32.load (local.get 0))))"""
+        assert run(wat, "f", 100, 0xDEAD) == 0xDEAD
+
+    def test_load8_sign_extension(self):
+        wat = """(module (memory 1)
+          (func (export "f") (result i32)
+            (i32.store8 (i32.const 0) (i32.const 0xff))
+            (i32.load8_s (i32.const 0))))"""
+        assert run(wat, "f") == -1
+
+    def test_load8_unsigned(self):
+        wat = """(module (memory 1)
+          (func (export "f") (result i32)
+            (i32.store8 (i32.const 0) (i32.const 0xff))
+            (i32.load8_u (i32.const 0))))"""
+        assert run(wat, "f") == 255
+
+    def test_oob_load_traps(self):
+        wat = """(module (memory 1)
+          (func (export "f") (param i32) (result i32)
+            (i32.load (local.get 0))))"""
+        with pytest.raises(Trap) as exc:
+            run(wat, "f", 65536)
+        assert exc.value.code == "oob"
+
+    def test_oob_store_with_offset_traps(self):
+        wat = """(module (memory 1)
+          (func (export "f") (param i32)
+            (i32.store offset=65534 (local.get 0) (i32.const 1))))"""
+        with pytest.raises(Trap):
+            run(wat, "f", 4)
+
+    def test_memory_grow_and_size(self):
+        wat = """(module (memory 1 3)
+          (func (export "grow") (param i32) (result i32)
+            (memory.grow (local.get 0)))
+          (func (export "size") (result i32) memory.size))"""
+        inst = make(wat)
+        assert inst.call("size") == 1
+        assert inst.call("grow", 1) == 1
+        assert inst.call("size") == 2
+        assert inst.call("grow", 5) == -1  # beyond max
+        assert inst.call("size") == 2
+
+    def test_data_segment_initialisation(self):
+        wat = """(module (memory 1)
+          (data (i32.const 8) "\\01\\02\\03")
+          (func (export "f") (result i32) (i32.load8_u (i32.const 9))))"""
+        assert run(wat, "f") == 2
+
+    def test_f64_memory_roundtrip(self):
+        wat = """(module (memory 1)
+          (func (export "f") (param f64) (result f64)
+            (f64.store (i32.const 0) (local.get 0))
+            (f64.load (i32.const 0))))"""
+        assert run(wat, "f", -2.5e300) == -2.5e300
+
+
+class TestFuelAccounting:
+    def test_fuel_shared_across_calls_in_one_budget(self):
+        """The plugin-host pattern: alloc consumes from run's budget."""
+        wat = """(module
+          (func (export "a") (result i32) (i32.const 1))
+          (func (export "b") (result i32) (i32.const 2)))"""
+        inst = make(wat)
+        inst.call("a", fuel=100)
+        remaining_after_a = inst.store.fuel
+        assert remaining_after_a < 100
+        inst.call("b", fuel="unset")  # continue on the same budget
+        assert inst.store.fuel < remaining_after_a
+
+    def test_fuel_counts_nested_calls(self):
+        wat = """(module
+          (func $leaf (result i32) (i32.const 1))
+          (func (export "deep") (result i32)
+            (i32.add (call $leaf) (call $leaf))))"""
+        inst = make(wat)
+        inst.call("deep", fuel=1_000)
+        deep_cost = 1_000 - inst.store.fuel
+        inst2 = make(wat)
+        inst2.call("deep", fuel=1_000_000)
+        assert 1_000_000 - inst2.store.fuel == deep_cost  # deterministic
+
+    def test_fuel_exact_for_known_program(self):
+        # body: const, const, add, end = 4 instructions
+        wat = """(module (func (export "f") (result i32)
+          (i32.add (i32.const 1) (i32.const 2))))"""
+        inst = make(wat)
+        inst.call("f", fuel=100)
+        assert 100 - inst.store.fuel == 4
+
+    def test_exhaustion_leaves_zero_fuel(self):
+        wat = """(module (func (export "spin") (loop $l (br $l))))"""
+        inst = make(wat)
+        with pytest.raises(FuelExhausted):
+            inst.call("spin", fuel=50)
+        assert inst.store.fuel == 0
+
+    def test_max_call_depth_configurable(self):
+        from repro.wasm import Store
+
+        wat = "(module (func $f (export \"f\") (call $f)))"
+        inst = Instance(decode_module(assemble(wat)), store=Store(max_call_depth=10))
+        with pytest.raises(StackExhausted) as exc:
+            inst.call("f")
+        assert exc.value.depth == 11

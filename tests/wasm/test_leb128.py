@@ -1,0 +1,94 @@
+"""Unit and property tests for LEB128 encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.wasm import leb128
+from repro.wasm.traps import DecodeError
+
+
+class TestUnsigned:
+    def test_zero(self):
+        assert leb128.encode_u(0) == b"\x00"
+        assert leb128.decode_u(b"\x00", 0) == (0, 1)
+
+    def test_single_byte_max(self):
+        assert leb128.encode_u(127) == b"\x7f"
+
+    def test_two_bytes(self):
+        assert leb128.encode_u(128) == b"\x80\x01"
+        assert leb128.decode_u(b"\x80\x01", 0) == (128, 2)
+
+    def test_u32_max(self):
+        data = leb128.encode_u(0xFFFFFFFF)
+        assert leb128.decode_u(data, 0) == (0xFFFFFFFF, len(data))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            leb128.encode_u(-1)
+
+    def test_value_too_large_for_bits(self):
+        data = leb128.encode_u(1 << 32)
+        with pytest.raises(DecodeError):
+            leb128.decode_u(data, 0, 32)
+
+    def test_truncated(self):
+        with pytest.raises(DecodeError):
+            leb128.decode_u(b"\x80", 0)
+
+    def test_overlong_rejected(self):
+        # 6 continuation bytes cannot encode a u32
+        with pytest.raises(DecodeError):
+            leb128.decode_u(b"\x80\x80\x80\x80\x80\x01", 0, 32)
+
+    def test_offset_decoding(self):
+        data = b"\xff" + leb128.encode_u(300)
+        assert leb128.decode_u(data, 1) == (300, 3)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_roundtrip_u32(self, value):
+        data = leb128.encode_u(value)
+        assert leb128.decode_u(data, 0, 32) == (value, len(data))
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_roundtrip_u64(self, value):
+        data = leb128.encode_u(value)
+        assert leb128.decode_u(data, 0, 64) == (value, len(data))
+
+
+class TestSigned:
+    def test_zero(self):
+        assert leb128.encode_s(0) == b"\x00"
+
+    def test_minus_one(self):
+        assert leb128.encode_s(-1) == b"\x7f"
+        assert leb128.decode_s(b"\x7f", 0) == (-1, 1)
+
+    def test_boundary_63_64(self):
+        # 63 fits one byte; 64 needs two (sign bit collision)
+        assert len(leb128.encode_s(63)) == 1
+        assert len(leb128.encode_s(64)) == 2
+
+    def test_i32_min(self):
+        data = leb128.encode_s(-(1 << 31))
+        assert leb128.decode_s(data, 0, 32) == (-(1 << 31), len(data))
+
+    def test_out_of_range(self):
+        data = leb128.encode_s(1 << 31)
+        with pytest.raises(DecodeError):
+            leb128.decode_s(data, 0, 32)
+
+    def test_truncated(self):
+        with pytest.raises(DecodeError):
+            leb128.decode_s(b"\xc0", 0)
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_roundtrip_s32(self, value):
+        data = leb128.encode_s(value)
+        assert leb128.decode_s(data, 0, 32) == (value, len(data))
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_roundtrip_s64(self, value):
+        data = leb128.encode_s(value)
+        assert leb128.decode_s(data, 0, 64) == (value, len(data))

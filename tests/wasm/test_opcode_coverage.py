@@ -1,0 +1,275 @@
+"""Opcode conformance corpus: every supported opcode executes correctly.
+
+Each entry is a folded WAT expression with a known answer.  A final
+completeness test asserts that the corpus (plus a few structural programs)
+covers *every* opcode in the instruction table, so adding an opcode
+without a conformance vector fails CI.
+"""
+
+import math
+
+import pytest
+
+from repro.wasm import Instance, decode_module
+from repro.wasm import opcodes as op
+from repro.wasm.wat import assemble, parse_module
+
+# (expression, params (name->wat type), args, expected)
+# Expressions are function bodies returning one value.
+VECTORS: list[tuple[str, str, tuple, object]] = [
+    # --- i32 arithmetic ---
+    ("(i32.add (local.get 0) (local.get 1))", "i32 i32:i32", (2, 3), 5),
+    ("(i32.sub (local.get 0) (local.get 1))", "i32 i32:i32", (2, 3), -1),
+    ("(i32.mul (local.get 0) (local.get 1))", "i32 i32:i32", (-4, 3), -12),
+    ("(i32.div_s (local.get 0) (local.get 1))", "i32 i32:i32", (-7, 2), -3),
+    ("(i32.div_u (local.get 0) (local.get 1))", "i32 i32:i32", (-1, 2), 0x7FFFFFFF),
+    ("(i32.rem_s (local.get 0) (local.get 1))", "i32 i32:i32", (-7, 2), -1),
+    ("(i32.rem_u (local.get 0) (local.get 1))", "i32 i32:i32", (7, 4), 3),
+    ("(i32.and (local.get 0) (local.get 1))", "i32 i32:i32", (0b1100, 0b1010), 0b1000),
+    ("(i32.or (local.get 0) (local.get 1))", "i32 i32:i32", (0b1100, 0b1010), 0b1110),
+    ("(i32.xor (local.get 0) (local.get 1))", "i32 i32:i32", (0b1100, 0b1010), 0b0110),
+    ("(i32.shl (local.get 0) (local.get 1))", "i32 i32:i32", (1, 4), 16),
+    ("(i32.shr_s (local.get 0) (local.get 1))", "i32 i32:i32", (-16, 2), -4),
+    ("(i32.shr_u (local.get 0) (local.get 1))", "i32 i32:i32", (-16, 28), 15),
+    ("(i32.rotl (local.get 0) (local.get 1))", "i32 i32:i32", (0x80000000, 1), 1),
+    ("(i32.rotr (local.get 0) (local.get 1))", "i32 i32:i32", (1, 1), -(1 << 31)),
+    ("(i32.clz (local.get 0))", "i32:i32", (16,), 27),
+    ("(i32.ctz (local.get 0))", "i32:i32", (16,), 4),
+    ("(i32.popcnt (local.get 0))", "i32:i32", (0xF0F0,), 8),
+    ("(i32.eqz (local.get 0))", "i32:i32", (0,), 1),
+    ("(i32.extend8_s (local.get 0))", "i32:i32", (0x80,), -128),
+    ("(i32.extend16_s (local.get 0))", "i32:i32", (0x8000,), -32768),
+    # --- i32 comparisons ---
+    ("(i32.eq (local.get 0) (local.get 1))", "i32 i32:i32", (5, 5), 1),
+    ("(i32.ne (local.get 0) (local.get 1))", "i32 i32:i32", (5, 5), 0),
+    ("(i32.lt_s (local.get 0) (local.get 1))", "i32 i32:i32", (-1, 0), 1),
+    ("(i32.lt_u (local.get 0) (local.get 1))", "i32 i32:i32", (-1, 0), 0),
+    ("(i32.gt_s (local.get 0) (local.get 1))", "i32 i32:i32", (1, -1), 1),
+    ("(i32.gt_u (local.get 0) (local.get 1))", "i32 i32:i32", (1, -1), 0),
+    ("(i32.le_s (local.get 0) (local.get 1))", "i32 i32:i32", (3, 3), 1),
+    ("(i32.le_u (local.get 0) (local.get 1))", "i32 i32:i32", (4, 3), 0),
+    ("(i32.ge_s (local.get 0) (local.get 1))", "i32 i32:i32", (3, 4), 0),
+    ("(i32.ge_u (local.get 0) (local.get 1))", "i32 i32:i32", (-1, 1), 1),
+    # --- i64 ---
+    ("(i64.add (local.get 0) (local.get 1))", "i64 i64:i64", (1 << 40, 1), (1 << 40) + 1),
+    ("(i64.sub (local.get 0) (local.get 1))", "i64 i64:i64", (0, 1), -1),
+    ("(i64.mul (local.get 0) (local.get 1))", "i64 i64:i64", (1 << 32, 2), 1 << 33),
+    ("(i64.div_s (local.get 0) (local.get 1))", "i64 i64:i64", (-9, 2), -4),
+    ("(i64.div_u (local.get 0) (local.get 1))", "i64 i64:i64", (-1, 1 << 63), 1),
+    ("(i64.rem_s (local.get 0) (local.get 1))", "i64 i64:i64", (-9, 2), -1),
+    ("(i64.rem_u (local.get 0) (local.get 1))", "i64 i64:i64", (10, 3), 1),
+    ("(i64.and (local.get 0) (local.get 1))", "i64 i64:i64", (6, 3), 2),
+    ("(i64.or (local.get 0) (local.get 1))", "i64 i64:i64", (6, 3), 7),
+    ("(i64.xor (local.get 0) (local.get 1))", "i64 i64:i64", (6, 3), 5),
+    ("(i64.shl (local.get 0) (local.get 1))", "i64 i64:i64", (1, 40), 1 << 40),
+    ("(i64.shr_s (local.get 0) (local.get 1))", "i64 i64:i64", (-8, 1), -4),
+    ("(i64.shr_u (local.get 0) (local.get 1))", "i64 i64:i64", (-8, 60), 15),
+    ("(i64.rotl (local.get 0) (local.get 1))", "i64 i64:i64", (1 << 63, 1), 1),
+    ("(i64.rotr (local.get 0) (local.get 1))", "i64 i64:i64", (1, 1), -(1 << 63)),
+    ("(i64.clz (local.get 0))", "i64:i64", (1,), 63),
+    ("(i64.ctz (local.get 0))", "i64:i64", (1 << 40,), 40),
+    ("(i64.popcnt (local.get 0))", "i64:i64", (-1,), 64),
+    ("(i64.eqz (local.get 0))", "i64:i32", (1,), 0),
+    ("(i64.extend8_s (local.get 0))", "i64:i64", (0xFF,), -1),
+    ("(i64.extend16_s (local.get 0))", "i64:i64", (0xFFFF,), -1),
+    ("(i64.extend32_s (local.get 0))", "i64:i64", (0xFFFFFFFF,), -1),
+    ("(i64.eq (local.get 0) (local.get 1))", "i64 i64:i32", (9, 9), 1),
+    ("(i64.ne (local.get 0) (local.get 1))", "i64 i64:i32", (9, 8), 1),
+    ("(i64.lt_s (local.get 0) (local.get 1))", "i64 i64:i32", (-2, -1), 1),
+    ("(i64.lt_u (local.get 0) (local.get 1))", "i64 i64:i32", (-2, -1), 1),
+    ("(i64.gt_s (local.get 0) (local.get 1))", "i64 i64:i32", (-1, -2), 1),
+    ("(i64.gt_u (local.get 0) (local.get 1))", "i64 i64:i32", (1, -1), 0),
+    ("(i64.le_s (local.get 0) (local.get 1))", "i64 i64:i32", (5, 5), 1),
+    ("(i64.le_u (local.get 0) (local.get 1))", "i64 i64:i32", (5, 4), 0),
+    ("(i64.ge_s (local.get 0) (local.get 1))", "i64 i64:i32", (5, 6), 0),
+    ("(i64.ge_u (local.get 0) (local.get 1))", "i64 i64:i32", (-1, 5), 1),
+    # --- f32 ---
+    ("(f32.add (local.get 0) (local.get 1))", "f32 f32:f32", (1.5, 2.0), 3.5),
+    ("(f32.sub (local.get 0) (local.get 1))", "f32 f32:f32", (1.5, 2.0), -0.5),
+    ("(f32.mul (local.get 0) (local.get 1))", "f32 f32:f32", (1.5, 2.0), 3.0),
+    ("(f32.div (local.get 0) (local.get 1))", "f32 f32:f32", (1.0, 2.0), 0.5),
+    ("(f32.min (local.get 0) (local.get 1))", "f32 f32:f32", (1.0, 2.0), 1.0),
+    ("(f32.max (local.get 0) (local.get 1))", "f32 f32:f32", (1.0, 2.0), 2.0),
+    ("(f32.copysign (local.get 0) (local.get 1))", "f32 f32:f32", (3.0, -1.0), -3.0),
+    ("(f32.abs (local.get 0))", "f32:f32", (-2.5,), 2.5),
+    ("(f32.neg (local.get 0))", "f32:f32", (2.5,), -2.5),
+    ("(f32.ceil (local.get 0))", "f32:f32", (1.25,), 2.0),
+    ("(f32.floor (local.get 0))", "f32:f32", (1.75,), 1.0),
+    ("(f32.trunc (local.get 0))", "f32:f32", (-1.75,), -1.0),
+    ("(f32.nearest (local.get 0))", "f32:f32", (2.5,), 2.0),
+    ("(f32.sqrt (local.get 0))", "f32:f32", (4.0,), 2.0),
+    ("(f32.eq (local.get 0) (local.get 1))", "f32 f32:i32", (1.0, 1.0), 1),
+    ("(f32.ne (local.get 0) (local.get 1))", "f32 f32:i32", (1.0, 2.0), 1),
+    ("(f32.lt (local.get 0) (local.get 1))", "f32 f32:i32", (1.0, 2.0), 1),
+    ("(f32.gt (local.get 0) (local.get 1))", "f32 f32:i32", (1.0, 2.0), 0),
+    ("(f32.le (local.get 0) (local.get 1))", "f32 f32:i32", (2.0, 2.0), 1),
+    ("(f32.ge (local.get 0) (local.get 1))", "f32 f32:i32", (1.0, 2.0), 0),
+    # --- f64 ---
+    ("(f64.add (local.get 0) (local.get 1))", "f64 f64:f64", (0.1, 0.2), 0.1 + 0.2),
+    ("(f64.sub (local.get 0) (local.get 1))", "f64 f64:f64", (1.0, 0.25), 0.75),
+    ("(f64.mul (local.get 0) (local.get 1))", "f64 f64:f64", (1e150, 1e150), 1e300),
+    ("(f64.div (local.get 0) (local.get 1))", "f64 f64:f64", (1.0, 3.0), 1.0 / 3.0),
+    ("(f64.min (local.get 0) (local.get 1))", "f64 f64:f64", (-1.0, 1.0), -1.0),
+    ("(f64.max (local.get 0) (local.get 1))", "f64 f64:f64", (-1.0, 1.0), 1.0),
+    ("(f64.copysign (local.get 0) (local.get 1))", "f64 f64:f64", (-3.0, 1.0), 3.0),
+    ("(f64.abs (local.get 0))", "f64:f64", (-0.5,), 0.5),
+    ("(f64.neg (local.get 0))", "f64:f64", (-0.5,), 0.5),
+    ("(f64.ceil (local.get 0))", "f64:f64", (-1.25,), -1.0),
+    ("(f64.floor (local.get 0))", "f64:f64", (-1.25,), -2.0),
+    ("(f64.trunc (local.get 0))", "f64:f64", (9.99,), 9.0),
+    ("(f64.nearest (local.get 0))", "f64:f64", (3.5,), 4.0),
+    ("(f64.sqrt (local.get 0))", "f64:f64", (2.25,), 1.5),
+    ("(f64.eq (local.get 0) (local.get 1))", "f64 f64:i32", (0.5, 0.5), 1),
+    ("(f64.ne (local.get 0) (local.get 1))", "f64 f64:i32", (0.5, 0.5), 0),
+    ("(f64.lt (local.get 0) (local.get 1))", "f64 f64:i32", (0.5, 0.6), 1),
+    ("(f64.gt (local.get 0) (local.get 1))", "f64 f64:i32", (0.6, 0.5), 1),
+    ("(f64.le (local.get 0) (local.get 1))", "f64 f64:i32", (0.6, 0.5), 0),
+    ("(f64.ge (local.get 0) (local.get 1))", "f64 f64:i32", (0.5, 0.5), 1),
+    # --- conversions ---
+    ("(i32.wrap_i64 (local.get 0))", "i64:i32", ((1 << 32) + 7,), 7),
+    ("(i32.trunc_f32_s (local.get 0))", "f32:i32", (-2.75,), -2),
+    ("(i32.trunc_f32_u (local.get 0))", "f32:i32", (3e9,), -1294967296),
+    ("(i32.trunc_f64_s (local.get 0))", "f64:i32", (-2.75,), -2),
+    ("(i32.trunc_f64_u (local.get 0))", "f64:i32", (4e9,), -294967296),
+    ("(i64.extend_i32_s (local.get 0))", "i32:i64", (-5,), -5),
+    ("(i64.extend_i32_u (local.get 0))", "i32:i64", (-5,), (1 << 32) - 5),
+    ("(i64.trunc_f32_s (local.get 0))", "f32:i64", (-1e10,), -10000000000),
+    ("(i64.trunc_f32_u (local.get 0))", "f32:i64", (1e10,), 10000000000),
+    ("(i64.trunc_f64_s (local.get 0))", "f64:i64", (-1e15,), -1000000000000000),
+    ("(i64.trunc_f64_u (local.get 0))", "f64:i64", (1e15,), 1000000000000000),
+    ("(f32.convert_i32_s (local.get 0))", "i32:f32", (-2,), -2.0),
+    ("(f32.convert_i32_u (local.get 0))", "i32:f32", (-1,), 4294967296.0),
+    ("(f32.convert_i64_s (local.get 0))", "i64:f32", (1 << 40,), float(1 << 40)),
+    ("(f32.convert_i64_u (local.get 0))", "i64:f32", (1 << 40,), float(1 << 40)),
+    ("(f32.demote_f64 (local.get 0))", "f64:f32", (1.5,), 1.5),
+    ("(f64.convert_i32_s (local.get 0))", "i32:f64", (-7,), -7.0),
+    ("(f64.convert_i32_u (local.get 0))", "i32:f64", (-7,), 4294967289.0),
+    ("(f64.convert_i64_s (local.get 0))", "i64:f64", (-(1 << 40),), -float(1 << 40)),
+    ("(f64.convert_i64_u (local.get 0))", "i64:f64", (1 << 40,), float(1 << 40)),
+    ("(f64.promote_f32 (local.get 0))", "f32:f64", (1.5,), 1.5),
+    ("(i32.reinterpret_f32 (local.get 0))", "f32:i32", (1.0,), 0x3F800000),
+    ("(i64.reinterpret_f64 (local.get 0))", "f64:i64", (1.0,), 0x3FF0000000000000),
+    ("(f32.reinterpret_i32 (local.get 0))", "i32:f32", (0x3F800000,), 1.0),
+    ("(f64.reinterpret_i64 (local.get 0))", "i64:f64", (0x3FF0000000000000,), 1.0),
+    # --- parametric ---
+    ("(select (i32.const 7) (i32.const 8) (local.get 0))", "i32:i32", (1,), 7),
+]
+
+# structural programs covering the remaining (non-expression) opcodes
+STRUCTURAL = """
+(module
+  (memory 1 2)
+  (table 1 funcref)
+  (global $g (mut i64) (i64.const 5))
+  (func $callee (result i32) (i32.const 3))
+  (elem (i32.const 0) $callee)
+  (func (export "structural") (param i32) (result i32)
+    (local $acc i32) (local $f32tmp f32) (local $i64tmp i64)
+    nop
+    (drop (i32.const 1))
+    (block $b
+      (loop $l
+        (br_if $b (i32.ge_s (local.get $acc) (i32.const 3)))
+        (local.set $acc (i32.add (local.get $acc) (i32.const 1)))
+        (br $l)))
+    (if (local.get 0) (then (local.set $acc (i32.add (local.get $acc) (i32.const 10))))
+      (else (local.set $acc (i32.const 0))))
+    (block $x (block $y
+      (br_table $x $y (i32.const 1)))
+      (local.set $acc (i32.add (local.get $acc) (i32.const 100))))
+    ;; memory ops of every width
+    (i32.store8 (i32.const 0) (i32.const 0xAB))
+    (i32.store16 (i32.const 2) (i32.const 0xBEEF))
+    (i32.store (i32.const 4) (i32.const -1))
+    (i64.store8 (i32.const 8) (i64.const 0x11))
+    (i64.store16 (i32.const 10) (i64.const 0x2222))
+    (i64.store32 (i32.const 12) (i64.const 0x33333333))
+    (i64.store (i32.const 16) (i64.const -2))
+    (f32.store (i32.const 24) (f32.const 1.5))
+    (f64.store (i32.const 32) (f64.const 2.5))
+    (local.set $f32tmp (f32.load (i32.const 24)))
+    (drop (f64.load (i32.const 32)))
+    (drop (i32.load8_s (i32.const 0)))
+    (drop (i32.load8_u (i32.const 0)))
+    (drop (i32.load16_s (i32.const 2)))
+    (drop (i32.load16_u (i32.const 2)))
+    (drop (i32.load (i32.const 4)))
+    (drop (i64.load8_s (i32.const 8)))
+    (drop (i64.load8_u (i32.const 8)))
+    (drop (i64.load16_s (i32.const 10)))
+    (drop (i64.load16_u (i32.const 10)))
+    (drop (i64.load32_s (i32.const 12)))
+    (drop (i64.load32_u (i32.const 12)))
+    (local.set $i64tmp (i64.load (i32.const 16)))
+    (drop (memory.size))
+    (drop (memory.grow (i32.const 1)))
+    (global.set $g (i64.add (global.get $g) (local.get $i64tmp)))
+    (local.set $acc (i32.add (local.get $acc)
+      (call_indirect (type 0) (i32.const 0))))
+    (local.set $acc (i32.add (local.get $acc) (call $callee)))
+    (return (local.tee $acc (local.get $acc)))
+    unreachable
+  ))
+"""
+
+
+def _parse_sig(sig: str):
+    params, result = sig.split(":")
+    return params.split(), result
+
+
+@pytest.mark.parametrize("expr,sig,args,expected", VECTORS,
+                         ids=[v[0].split()[0].strip("(") for v in VECTORS])
+def test_vector(expr, sig, args, expected):
+    params, result = _parse_sig(sig)
+    wat = (f"(module (func (export \"f\") (param {' '.join(params)}) "
+           f"(result {result}) {expr}))")
+    got = Instance(decode_module(assemble(wat))).call("f", *args)
+    if isinstance(expected, float):
+        if math.isnan(expected):
+            assert math.isnan(got)
+        else:
+            assert got == pytest.approx(expected, rel=1e-6)
+    else:
+        assert got == expected
+
+
+def test_structural_program():
+    inst = Instance(decode_module(assemble(STRUCTURAL)))
+    # acc: loop makes 3, +10 (if), +100 (br_table to $y), +3 (indirect), +3 (call)
+    assert inst.call("structural", 1) == 119
+    assert inst.call("structural", 0) == 106
+
+
+def test_unreachable_covered():
+    from repro.wasm.traps import Trap
+
+    inst = Instance(decode_module(assemble("(module (func (export \"f\") unreachable))")))
+    with pytest.raises(Trap):
+        inst.call("f")
+
+
+def test_every_opcode_is_covered():
+    """The corpus must exercise every opcode the runtime claims to support."""
+    covered: set[int] = set()
+
+    def collect(wat: str) -> None:
+        module = parse_module(wat)
+        for code in module.codes:
+            for opcode, _ in code.body:
+                covered.add(opcode)
+        for glob in module.globals:
+            for opcode, _ in glob.init:
+                covered.add(opcode)
+
+    for expr, sig, _args, _expected in VECTORS:
+        params, result = _parse_sig(sig)
+        collect(f"(module (func (param {' '.join(params)}) (result {result}) {expr}))")
+    collect(STRUCTURAL)
+    collect('(module (func unreachable))')
+    collect('(module (func (return)))')
+
+    missing = {
+        op.OP_TABLE[code].name for code in op.OP_TABLE if code not in covered
+    }
+    assert not missing, f"opcodes without conformance coverage: {sorted(missing)}"

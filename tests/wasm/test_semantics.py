@@ -1,0 +1,218 @@
+"""Differential property tests: Wasm numeric semantics vs a Python oracle.
+
+For each operator class, hypothesis drives random operands through a
+one-instruction Wasm function and checks the result against an
+independently-written Python model of the spec semantics.
+"""
+
+import math
+import struct
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.wasm import Instance, decode_module
+from repro.wasm.traps import Trap
+from repro.wasm.wat import assemble
+
+i32s = st.integers(-(1 << 31), (1 << 31) - 1)
+i64s = st.integers(-(1 << 63), (1 << 63) - 1)
+f64s = st.floats(allow_nan=False, width=64)
+
+
+def run1(op: str, ty: str, *args):
+    params = " ".join([ty] * len(args))
+    gets = " ".join(f"(local.get {i})" for i in range(len(args)))
+    result_ty = "i32" if op.split(".")[1] in _CMP_NAMES or op.endswith("eqz") else ty
+    wat = f"""(module (func (export "f") (param {params}) (result {result_ty})
+      ({op} {gets})))"""
+    return Instance(decode_module(assemble(wat))).call("f", *args)
+
+
+_CMP_NAMES = {
+    "eq", "ne", "lt_s", "lt_u", "gt_s", "gt_u", "le_s", "le_u", "ge_s", "ge_u",
+    "lt", "gt", "le", "ge",
+}
+
+
+def wrap32(x: int) -> int:
+    x &= 0xFFFFFFFF
+    return x - (1 << 32) if x >= 1 << 31 else x
+
+
+def wrap64(x: int) -> int:
+    x &= (1 << 64) - 1
+    return x - (1 << 64) if x >= 1 << 63 else x
+
+
+class TestI32Semantics:
+    @given(i32s, i32s)
+    @settings(max_examples=60, deadline=None)
+    def test_add_sub_mul(self, a, b):
+        assert run1("i32.add", "i32", a, b) == wrap32(a + b)
+        assert run1("i32.sub", "i32", a, b) == wrap32(a - b)
+        assert run1("i32.mul", "i32", a, b) == wrap32(a * b)
+
+    @given(i32s, i32s)
+    @settings(max_examples=60, deadline=None)
+    def test_div_s(self, a, b):
+        assume(b != 0)
+        assume(not (a == -(1 << 31) and b == -1))
+        # C-style truncating division
+        expected = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            expected = -expected
+        assert run1("i32.div_s", "i32", a, b) == expected
+
+    @given(i32s, i32s)
+    @settings(max_examples=60, deadline=None)
+    def test_rem_s_identity(self, a, b):
+        assume(b != 0)
+        assume(not (a == -(1 << 31) and b == -1))
+        q = run1("i32.div_s", "i32", a, b)
+        r = run1("i32.rem_s", "i32", a, b)
+        assert wrap32(q * b + r) == a
+
+    @given(i32s, i32s)
+    @settings(max_examples=60, deadline=None)
+    def test_unsigned_compare(self, a, b):
+        ua, ub = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+        assert run1("i32.lt_u", "i32", a, b) == int(ua < ub)
+        assert run1("i32.ge_u", "i32", a, b) == int(ua >= ub)
+
+    @given(i32s, st.integers(0, 63))
+    @settings(max_examples=60, deadline=None)
+    def test_shifts(self, a, s):
+        ua = a & 0xFFFFFFFF
+        assert run1("i32.shl", "i32", a, s) == wrap32(ua << (s % 32))
+        assert run1("i32.shr_u", "i32", a, s) == wrap32(ua >> (s % 32))
+        assert run1("i32.shr_s", "i32", a, s) == wrap32(a >> (s % 32))
+
+    @given(i32s, st.integers(0, 63))
+    @settings(max_examples=40, deadline=None)
+    def test_rotl_rotr_inverse(self, a, s):
+        rotated = run1("i32.rotl", "i32", a, s)
+        back = run1("i32.rotr", "i32", rotated, s)
+        assert back == a
+
+    @given(i32s)
+    @settings(max_examples=40, deadline=None)
+    def test_clz_ctz_popcnt(self, a):
+        ua = a & 0xFFFFFFFF
+        bits = format(ua, "032b")
+        assert run1("i32.clz", "i32", a) == len(bits) - len(bits.lstrip("0"))
+        assert run1("i32.ctz", "i32", a) == (
+            32 if ua == 0 else len(bits) - len(bits.rstrip("0"))
+        )
+        assert run1("i32.popcnt", "i32", a) == bits.count("1")
+
+
+class TestI64Semantics:
+    @given(i64s, i64s)
+    @settings(max_examples=50, deadline=None)
+    def test_add_mul(self, a, b):
+        assert run1("i64.add", "i64", a, b) == wrap64(a + b)
+        assert run1("i64.mul", "i64", a, b) == wrap64(a * b)
+
+    @given(i64s, i64s)
+    @settings(max_examples=50, deadline=None)
+    def test_div_u(self, a, b):
+        assume(b != 0)
+        ua, ub = a & ((1 << 64) - 1), b & ((1 << 64) - 1)
+        assert run1("i64.div_u", "i64", a, b) == wrap64(ua // ub)
+
+    @given(i64s)
+    @settings(max_examples=40, deadline=None)
+    def test_extend_wrap_roundtrip(self, a):
+        wat = """(module (func (export "f") (param i64) (result i64)
+          (i64.extend_i32_s (i32.wrap_i64 (local.get 0)))))"""
+        inst = Instance(decode_module(assemble(wat)))
+        assert inst.call("f", a) == wrap32(a)
+
+
+class TestF64Semantics:
+    @given(f64s, f64s)
+    @settings(max_examples=60, deadline=None)
+    def test_arith_matches_python(self, a, b):
+        def same(x, y):
+            return x == y or (math.isnan(x) and math.isnan(y))
+
+        assert same(run1("f64.add", "f64", a, b), a + b)
+        assert same(run1("f64.mul", "f64", a, b), a * b)
+        if not (a == b == 0.0):  # Wasm min(-0, +0) differs from Python's
+            assert same(run1("f64.min", "f64", a, b), min(a, b))
+
+    @given(f64s)
+    @settings(max_examples=60, deadline=None)
+    def test_floor_ceil_trunc_nearest(self, a):
+        assume(abs(a) < 1e300)
+        assert run1("f64.floor", "f64", a) == math.floor(a) or a == 0
+        assert run1("f64.ceil", "f64", a) == math.ceil(a) or a == 0
+        assert run1("f64.trunc", "f64", a) == math.trunc(a) or a == 0
+
+    @given(f64s)
+    @settings(max_examples=60, deadline=None)
+    def test_reinterpret_bit_exact(self, a):
+        wat = """(module (func (export "f") (param f64) (result i64)
+          (i64.reinterpret_f64 (local.get 0))))"""
+        inst = Instance(decode_module(assemble(wat)))
+        expected = struct.unpack("<q", struct.pack("<d", a))[0]
+        assert inst.call("f", a) == expected
+
+    @given(st.floats(-2147483647, 2147483647, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_trunc_f64_s_matches_int_cast(self, a):
+        wat = """(module (func (export "f") (param f64) (result i32)
+          (i32.trunc_f64_s (local.get 0))))"""
+        inst = Instance(decode_module(assemble(wat)))
+        assert inst.call("f", a) == int(a)
+
+    @given(st.floats(allow_nan=True, allow_infinity=True))
+    @settings(max_examples=40, deadline=None)
+    def test_trunc_traps_exactly_when_out_of_range(self, a):
+        wat = """(module (func (export "f") (param f64) (result i32)
+          (i32.trunc_f64_s (local.get 0))))"""
+        inst = Instance(decode_module(assemble(wat)))
+        in_range = (
+            not math.isnan(a)
+            and not math.isinf(a)
+            and -(1 << 31) <= math.trunc(a) <= (1 << 31) - 1
+        )
+        if in_range:
+            inst.call("f", a)
+        else:
+            with pytest.raises(Trap):
+                inst.call("f", a)
+
+
+class TestMemorySemantics:
+    @given(st.integers(0, 65532), i32s)
+    @settings(max_examples=50, deadline=None)
+    def test_store_load_identity(self, addr, value):
+        wat = """(module (memory 1)
+          (func (export "f") (param i32 i32) (result i32)
+            (i32.store (local.get 0) (local.get 1))
+            (i32.load (local.get 0))))"""
+        inst = Instance(decode_module(assemble(wat)))
+        assert inst.call("f", addr, value) == value
+
+    @given(st.integers(0, 65535), st.integers(0, 255))
+    @settings(max_examples=50, deadline=None)
+    def test_byte_granularity(self, addr, byte):
+        wat = """(module (memory 1)
+          (func (export "f") (param i32 i32) (result i32)
+            (i32.store8 (local.get 0) (local.get 1))
+            (i32.load8_u (local.get 0))))"""
+        inst = Instance(decode_module(assemble(wat)))
+        assert inst.call("f", addr, byte) == byte
+
+    @given(st.integers(65533, 1 << 20))
+    @settings(max_examples=30, deadline=None)
+    def test_every_oob_address_traps(self, addr):
+        wat = """(module (memory 1)
+          (func (export "f") (param i32) (result i32)
+            (i32.load (local.get 0))))"""
+        inst = Instance(decode_module(assemble(wat)))
+        with pytest.raises(Trap):
+            inst.call("f", addr)

@@ -1,0 +1,187 @@
+"""Validator tests: ill-typed modules must be rejected before execution."""
+
+import pytest
+
+from repro.wasm import decode_module, validate_module
+from repro.wasm.module import Code, Module
+from repro.wasm.traps import ValidationError
+from repro.wasm import opcodes as op
+from repro.wasm.wat import parse_module
+from repro.wasm.wtypes import FuncType, ValType
+
+
+def check(wat: str):
+    validate_module(parse_module(wat))
+
+
+def reject(wat: str, match: str | None = None):
+    with pytest.raises(ValidationError, match=match):
+        check(wat)
+
+
+class TestStackTyping:
+    def test_valid_add(self):
+        check("""(module (func (param i32 i32) (result i32)
+                   (i32.add (local.get 0) (local.get 1))))""")
+
+    def test_type_mismatch_f64_into_i32_add(self):
+        reject(
+            """(module (func (param i32 f64) (result i32)
+                 (i32.add (local.get 0) (local.get 1))))""",
+            match="type mismatch",
+        )
+
+    def test_stack_underflow(self):
+        reject("(module (func (result i32) i32.add))", match="underflow|mismatch")
+
+    def test_leftover_value(self):
+        reject(
+            "(module (func (i32.const 1)))", match="left on stack"
+        )
+
+    def test_missing_result(self):
+        reject("(module (func (result i32) nop))", match="underflow|mismatch")
+
+    def test_wrong_result_type(self):
+        reject("(module (func (result i32) (f64.const 1.0)))", match="mismatch")
+
+
+class TestLocalsGlobals:
+    def test_unknown_local(self):
+        reject("(module (func (result i32) (local.get 3)))", match="unknown local")
+
+    def test_local_set_wrong_type(self):
+        reject(
+            """(module (func (param i32) (local $f f64)
+                 (local.set $f (local.get 0))))""",
+            match="mismatch",
+        )
+
+    def test_set_immutable_global(self):
+        reject(
+            """(module (global $g i32 (i32.const 1))
+                 (func (global.set $g (i32.const 2))))""",
+            match="immutable",
+        )
+
+    def test_unknown_global(self):
+        reject("(module (func (result i32) (global.get 0)))", match="unknown global")
+
+
+class TestControl:
+    def test_br_unknown_depth(self):
+        reject("(module (func (br 5)))", match="unknown label")
+
+    def test_if_without_else_needing_value(self):
+        reject(
+            """(module (func (result i32)
+                 (if (result i32) (i32.const 1) (then (i32.const 2)))))""",
+            match="without else",
+        )
+
+    def test_br_table_mismatched_targets(self):
+        reject(
+            """(module (func (param i32) (result i32)
+              (block $a (result i32)
+                (block $b
+                  (br_table $a $b (i32.const 1) (local.get 0)))
+                (i32.const 0))))""",
+        )
+
+    def test_unreachable_code_is_permissive(self):
+        # after unreachable, any stack shape is accepted
+        check("""(module (func (result i32) unreachable i32.add))""")
+
+    def test_branch_value_types(self):
+        check("""(module (func (result i32)
+          (block $b (result i32) (br $b (i32.const 3)))))""")
+
+
+class TestCallsAndMemory:
+    def test_call_unknown_function(self):
+        mod = Module()
+        mod.types.append(FuncType((), ()))
+        mod.funcs.append(0)
+        mod.codes.append(Code((), ((op.CALL, 9), (op.END, None))))
+        with pytest.raises(ValidationError, match="unknown function"):
+            validate_module(mod)
+
+    def test_call_argument_mismatch(self):
+        reject(
+            """(module
+              (func $f (param i32) (result i32) (local.get 0))
+              (func (result i32) (call $f (f64.const 1.0))))""",
+            match="mismatch",
+        )
+
+    def test_memory_op_without_memory(self):
+        reject(
+            "(module (func (result i32) (i32.load (i32.const 0))))",
+            match="without a memory",
+        )
+
+    def test_alignment_too_large(self):
+        mod = Module()
+        mod.types.append(FuncType((), (ValType.I32,)))
+        mod.funcs.append(0)
+        mod.mems.append(__import__("repro.wasm.wtypes", fromlist=["Limits"]).Limits(1))
+        mod.codes.append(
+            Code(
+                (),
+                (
+                    (op.I32_CONST, 0),
+                    (op.I32_LOAD, (3, 0)),  # 2**3 = 8 > 4-byte access
+                    (op.END, None),
+                ),
+            )
+        )
+        with pytest.raises(ValidationError, match="alignment"):
+            validate_module(mod)
+
+    def test_call_indirect_without_table(self):
+        mod = Module()
+        mod.types.append(FuncType((), ()))
+        mod.funcs.append(0)
+        mod.codes.append(
+            Code((), ((op.I32_CONST, 0), (op.CALL_INDIRECT, 0), (op.END, None)))
+        )
+        with pytest.raises(ValidationError, match="table"):
+            validate_module(mod)
+
+
+class TestModuleLevel:
+    def test_export_index_out_of_range(self):
+        mod = parse_module("(module (func))")
+        from repro.wasm.module import Export
+
+        mod.exports.append(Export("bad", "func", 5))
+        with pytest.raises(ValidationError, match="out of range"):
+            validate_module(mod)
+
+    def test_start_with_params_rejected(self):
+        mod = parse_module("(module (func $s (param i32) drop))")
+        mod.start = 0
+        with pytest.raises(ValidationError, match="start"):
+            validate_module(mod)
+
+    def test_global_init_must_be_const(self):
+        mod = parse_module("(module)")
+        from repro.wasm.module import Global
+        from repro.wasm.wtypes import GlobalType
+
+        mod.globals.append(
+            Global(
+                GlobalType(ValType.I32, False),
+                ((op.LOCAL_GET, 0), (op.END, None)),
+            )
+        )
+        with pytest.raises(ValidationError, match="constant"):
+            validate_module(mod)
+
+    def test_two_memories_rejected(self):
+        mod = parse_module("(module (memory 1))")
+        from repro.wasm.wtypes import Limits
+
+        mod.mems.append(Limits(1))
+        with pytest.raises(ValidationError, match="one memory"):
+            validate_module(mod)

@@ -1,0 +1,136 @@
+"""WAT assembler tests: syntax coverage and error reporting."""
+
+import pytest
+
+from repro.wasm import Instance, decode_module, validate_module
+from repro.wasm.wat import WatError, assemble, parse_module
+
+
+def build(wat: str) -> Instance:
+    return Instance(decode_module(assemble(wat)))
+
+
+class TestSyntax:
+    def test_module_wrapper_optional(self):
+        a = assemble('(module (func (export "f") (result i32) (i32.const 1)))')
+        b = assemble('(func (export "f") (result i32) (i32.const 1))')
+        assert a == b
+
+    def test_comments(self):
+        inst = build("""
+        (module
+          ;; line comment
+          (func (export "f") (result i32)
+            (; block comment ;)
+            (i32.const 7)))
+        """)
+        assert inst.call("f") == 7
+
+    def test_named_params_and_locals(self):
+        inst = build("""(module (func (export "f") (param $a i32) (param $b i32)
+          (result i32) (local $t i32)
+          (local.set $t (i32.add (local.get $a) (local.get $b)))
+          (local.get $t)))""")
+        assert inst.call("f", 3, 4) == 7
+
+    def test_hex_and_underscore_literals(self):
+        inst = build("""(module (func (export "f") (result i32)
+          (i32.add (i32.const 0x10) (i32.const 1_000))))""")
+        assert inst.call("f") == 1016
+
+    def test_float_literals(self):
+        inst = build("""(module (func (export "f") (result f64)
+          (f64.add (f64.const 1.5e2) (f64.const -0.5))))""")
+        assert inst.call("f") == 149.5
+
+    def test_inf_literal(self):
+        import math
+
+        inst = build('(module (func (export "f") (result f64) (f64.const inf)))')
+        assert math.isinf(inst.call("f"))
+
+    def test_string_escapes_in_data(self):
+        inst = build("""(module (memory 1)
+          (data (i32.const 0) "a\\tb\\n\\5c\\"")
+          (func (export "f") (param i32) (result i32)
+            (i32.load8_u (local.get 0))))""")
+        assert inst.call("f", 0) == ord("a")
+        assert inst.call("f", 1) == 9  # \t
+        assert inst.call("f", 3) == 10  # \n
+        assert inst.call("f", 4) == 0x5C  # \5c
+        assert inst.call("f", 5) == ord('"')
+
+    def test_standalone_export_field(self):
+        inst = build("""(module
+          (func $f (result i32) (i32.const 9))
+          (export "nine" (func $f)))""")
+        assert inst.call("nine") == 9
+
+    def test_global_export(self):
+        module = parse_module("""(module
+          (global $g (export "g") i32 (i32.const 4)))""")
+        assert module.exports[0].kind == "global"
+
+    def test_start_function(self):
+        wat = """(module
+          (global $ran (mut i32) (i32.const 0))
+          (func $init (global.set $ran (i32.const 1)))
+          (func (export "check") (result i32) (global.get $ran))
+          (start $init))"""
+        assert build(wat).call("check") == 1
+
+    def test_memarg_align(self):
+        inst = build("""(module (memory 1)
+          (func (export "f") (result i32)
+            (i32.store offset=4 align=4 (i32.const 0) (i32.const 5))
+            (i32.load offset=4 (i32.const 0))))""")
+        assert inst.call("f") == 5
+
+    def test_import_field_form(self):
+        from repro.wasm.instance import HostFunc
+        from repro.wasm.wtypes import FuncType, ValType
+
+        wat = """(module
+          (import "env" "add" (func $add (param i32 i32) (result i32)))
+          (func (export "f") (result i32) (call $add (i32.const 1) (i32.const 2))))"""
+        inst = Instance(
+            decode_module(assemble(wat)),
+            imports={"env": {"add": HostFunc(
+                FuncType((ValType.I32, ValType.I32), (ValType.I32,)),
+                lambda caller, a, b: a + b, "add",
+            )}},
+        )
+        assert inst.call("f") == 3
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "wat,match",
+        [
+            ("(module (func (br $nope)))", "unknown label"),
+            ("(module (func (local.get $nope)))", "unknown local"),
+            ("(module (func (call $nope)))", "unknown function"),
+            ("(module (func (global.get $nope)))", "unknown global"),
+            ("(module (func (frob 1)))", "unknown instruction"),
+            ("(module (func (if (i32.const 1))))", "then"),
+            ("(module (bogus-field))", "unsupported module field"),
+            ("(module (func", "unbalanced"),
+            ("(module (func)) )", "unbalanced"),
+        ],
+    )
+    def test_rejected(self, wat, match):
+        with pytest.raises(WatError, match=match):
+            assemble(wat)
+
+    def test_assembled_modules_validate(self):
+        """Everything the test corpus assembles must pass the validator."""
+        corpus = [
+            '(module (func (export "f") (result i32) (i32.const 1)))',
+            """(module (memory 1) (table 2 funcref)
+               (func $a (result i32) (i32.const 1))
+               (elem (i32.const 0) $a $a)
+               (func (export "f") (result i32)
+                 (call_indirect (type 0) (i32.const 1))))""",
+        ]
+        for wat in corpus:
+            validate_module(decode_module(assemble(wat)))

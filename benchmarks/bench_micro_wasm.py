@@ -2,10 +2,19 @@
 
 Not tied to a paper figure; these pin the interpreter's basic costs so
 regressions in the runtime show up independently of the scheduler stack.
+Results are reported through the :mod:`repro.obs` registry (the session
+conftest folds every bench's stats into ``waran_bench_*`` gauges and
+writes ``BENCH_obs.json``); the telemetry on/off pair below bounds the
+observability tax on the full host call path.
 """
 
 import pytest
 
+from repro import obs
+from repro.abi import SchedulerPlugin
+from repro.experiments.fig5d import make_ues
+from repro.obs import OBS
+from repro.plugins import plugin_wasm
 from repro.wasm import Instance, decode_module
 from repro.wasm.wat import assemble
 
@@ -67,10 +76,44 @@ def test_interpreter_fuel_overhead(benchmark):
 
 
 @pytest.mark.benchmark(group="micro-wasm")
+def test_plugin_call_telemetry_off(benchmark):
+    """Full host call path with observability disabled - the baseline.
+
+    Acceptance bound: this must stay within ~5% of the seed's host-call
+    time; the disabled path costs one ``OBS.enabled`` check plus no-op
+    null-span calls per *call*, never per instruction.
+    """
+    obs.disable()
+    try:
+        plugin = SchedulerPlugin.load(plugin_wasm("pf"), name="pf-obs-off")
+        plugin.host.limits.fuel = 10_000_000
+        ues = make_ues(5)
+        result = benchmark(plugin.schedule, 52, ues, 1)
+        assert result.grants
+        # nothing leaked into the registry while disabled
+        calls = OBS.registry.histogram("waran_plugin_call_us")
+        assert calls.count(plugin="pf-obs-off") == 0
+    finally:
+        obs.enable()
+
+
+@pytest.mark.benchmark(group="micro-wasm")
+def test_plugin_call_telemetry_on(benchmark):
+    """Same call with spans, registry, flight recorder and exec stats on."""
+    plugin = SchedulerPlugin.load(plugin_wasm("pf"), name="pf-obs-on")
+    plugin.host.limits.fuel = 10_000_000
+    ues = make_ues(5)
+    result = benchmark(plugin.schedule, 52, ues, 1)
+    assert result.grants
+    fuel = OBS.registry.histogram("waran_plugin_fuel_used").snapshot(plugin="pf-obs-on")
+    instr = OBS.registry.histogram("waran_plugin_instructions").snapshot(plugin="pf-obs-on")
+    assert fuel["count"] == instr["count"] > 0
+    assert fuel["mean"] == instr["mean"]  # fuel burns 1 per retired instruction
+
+
+@pytest.mark.benchmark(group="micro-wasm")
 def test_decode_validate_instantiate(benchmark):
     """The load path a hot swap pays."""
-    from repro.plugins import plugin_wasm
-
     raw = plugin_wasm("pf")
 
     def load():

@@ -5,12 +5,76 @@ then asserts the *shape* criteria from DESIGN.md §3.  Absolute numbers are
 a pure-Python interpreter's, not the paper's NUC + wasmtime testbed;
 EXPERIMENTS.md records the comparison.
 
+Telemetry: the whole benchmark session runs with :mod:`repro.obs` enabled,
+so plugin calls, swaps and compiles report into the process-wide metrics
+registry instead of private timers.  Each pytest-benchmark result is also
+folded into the registry (``waran_bench_*`` gauges), and at session end
+the full registry snapshot is written to ``BENCH_obs.json`` at the repo
+root - the perf-trajectory baseline future PRs diff against.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only
 """
 
 from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro import obs
+
+BENCH_OBS_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+_ran_benchmarks = False
+
+
+@pytest.fixture(scope="session", autouse=True)
+def telemetry_session():
+    """Benchmarks always run instrumented; the registry is the report."""
+    obs.enable()
+    obs.reset()
+    yield obs.OBS
+
+
+@pytest.fixture(autouse=True)
+def _fold_benchmark_stats_into_registry(request):
+    """After each bench, mirror its pytest-benchmark stats into the registry."""
+    yield
+    global _ran_benchmarks
+    bench = getattr(request.node, "funcargs", {}).get("benchmark")
+    stats = getattr(getattr(bench, "stats", None), "stats", None)
+    if stats is None:
+        return
+    _ran_benchmarks = True
+    reg = obs.OBS.registry
+    name = request.node.name
+    reg.gauge("waran_bench_mean_us", "pytest-benchmark mean round (us)").set(
+        stats.mean * 1e6, bench=name
+    )
+    reg.gauge("waran_bench_min_us", "pytest-benchmark best round (us)").set(
+        stats.min * 1e6, bench=name
+    )
+    reg.gauge("waran_bench_rounds", "pytest-benchmark rounds").set(
+        stats.rounds, bench=name
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the registry snapshot so future PRs have a perf baseline."""
+    if not _ran_benchmarks:
+        return
+    import time
+
+    doc = {
+        "schema": "waran-bench-obs/1",
+        "written_unix": int(time.time()),
+        "exitstatus": int(exitstatus),
+        "metrics": obs.OBS.registry.to_json(),
+    }
+    BENCH_OBS_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
 
 def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:

@@ -17,6 +17,7 @@ Subpackage map (see DESIGN.md for the full inventory):
 - :mod:`repro.e2` / :mod:`repro.ric` - E2-lite, near-RT RIC, xApps, A1, rApps
 - :mod:`repro.plugins` - the shipped WACC plugin sources
 - :mod:`repro.experiments` - one driver per paper figure
+- :mod:`repro.obs` - unified telemetry: metrics, spans, flight recorder
 - :mod:`repro.cli` - the ``python -m repro`` command line
 
 Quick start::
@@ -50,5 +51,6 @@ __all__ = [
     "plugins",
     "experiments",
     "metrics",
+    "obs",
     "hostsim",
 ]

@@ -24,9 +24,12 @@ from dataclasses import dataclass, field
 from repro.abi import wire
 from repro.abi.hostfuncs import make_env
 from repro.abi.sanitizer import sanitize_plugin
+from repro.obs import OBS
+from repro.obs.flight import CallRecord
 from repro.sched.types import UeGrant, UeSchedInfo
 from repro.wasm import Instance, decode_module
 from repro.wasm.instance import HostFunc, Store
+from repro.wasm.interpreter import ExecStats
 from repro.wasm.traps import Trap, WasmError
 
 
@@ -98,6 +101,10 @@ class PluginHost:
             env = make_env(log_sink=self._log_sink, extra=self._extra_hostfuncs)
             self.instance = Instance(module, imports={"env": env}, store=Store())
         except WasmError as exc:
+            if OBS.enabled:
+                OBS.events.emit(
+                    "plugin.load", source=self.name, detail=str(exc), ok=False
+                )
             raise PluginError(f"cannot load plugin {self.name}: {exc}", "load") from exc
         self.wasm_bytes = wasm_bytes
 
@@ -111,6 +118,16 @@ class PluginHost:
         """
         self._load(wasm_bytes)
         self.generation += 1
+        if OBS.enabled:
+            OBS.events.emit(
+                "plugin.swap",
+                source=self.name,
+                generation=self.generation,
+                size_bytes=len(wasm_bytes),
+            )
+            OBS.registry.counter(
+                "waran_plugin_swaps_total", "hot swaps performed"
+            ).inc(plugin=self.name)
         return self.generation
 
     # ----- invocation -----------------------------------------------------------
@@ -121,41 +138,174 @@ class PluginHost:
         Raises :class:`PluginError` for traps, fuel/deadline exhaustion and
         ABI violations.  The elapsed time covers the full round trip
         (serialization overhead included), mirroring §5E's methodology.
+
+        When telemetry is enabled (:func:`repro.obs.enable`) every call
+        emits a ``plugin.call`` span with ``encode``/``invoke``/``decode``
+        children, feeds the metrics registry (latency, fuel, instruction
+        and interpreter counters), appends a replayable record to the
+        flight recorder, and logs a structured event for every fault.
         """
         instance = self.instance
         assert instance is not None
+        obs = OBS
+        enabled = obs.enabled
+        tracer = obs.tracer
         fuel = self.limits.fuel
+        stats: ExecStats | None = None
+        if enabled:
+            stats = instance.store.stats
+            if stats is None:
+                stats = instance.store.stats = ExecStats()
+            else:
+                stats.reset()
+        error: PluginError | None = None
+        trap_code: str | None = None
+        output: bytes | None = None
         start = time.perf_counter_ns()
-        try:
-            in_ptr = instance.call("alloc", len(input_bytes), fuel=fuel)
-            if in_ptr is None or in_ptr < 0:
-                raise PluginError(
-                    f"{self.name}: alloc returned bad pointer {in_ptr}", "abi"
+        root = tracer.span("plugin.call", plugin=self.name, entry=entry)
+        with root:
+            try:
+                with tracer.span("plugin.encode"):
+                    in_ptr = instance.call("alloc", len(input_bytes), fuel=fuel)
+                    if in_ptr is None or in_ptr < 0:
+                        raise PluginError(
+                            f"{self.name}: alloc returned bad pointer {in_ptr}",
+                            "abi",
+                        )
+                    instance.memory.write(in_ptr, input_bytes)
+                with tracer.span("plugin.invoke"):
+                    out_ptr = instance.call(
+                        entry, in_ptr, len(input_bytes), fuel="unset"
+                    )
+                with tracer.span("plugin.decode"):
+                    output = self._read_output(out_ptr)
+            except PluginError as exc:
+                error = exc
+            except Trap as exc:
+                kind = "fuel" if exc.code == "fuel" else "trap"
+                trap_code = exc.code
+                error = PluginError(
+                    f"{self.name}: plugin trapped: {exc} (code={exc.code})", kind
                 )
-            instance.memory.write(in_ptr, input_bytes)
-            out_ptr = instance.call(entry, in_ptr, len(input_bytes), fuel="unset")
-            output = self._read_output(out_ptr)
-        except PluginError:
-            raise
-        except Trap as exc:
-            kind = "fuel" if exc.code == "fuel" else "trap"
-            raise PluginError(
-                f"{self.name}: plugin trapped: {exc} (code={exc.code})", kind
-            ) from exc
-        finally:
-            elapsed_us = (time.perf_counter_ns() - start) / 1000.0
+                error.__cause__ = exc
+        elapsed_us = (time.perf_counter_ns() - start) / 1000.0
         fuel_used = None
         if fuel is not None and instance.store.fuel is not None:
             fuel_used = fuel - instance.store.fuel
         if (
-            self.limits.deadline_us is not None
+            error is None
+            and self.limits.deadline_us is not None
             and elapsed_us > self.limits.deadline_us
         ):
-            raise PluginError(
+            error = PluginError(
                 f"{self.name}: call took {elapsed_us:.1f}us, deadline "
                 f"{self.limits.deadline_us}us", "deadline",
             )
+        if enabled:
+            outcome = "ok" if error is None else error.kind
+            root.set(outcome=outcome)
+            self._record_telemetry(
+                obs, entry, input_bytes, output, outcome, elapsed_us,
+                fuel_used, stats, error, trap_code,
+            )
+        if error is not None:
+            raise error
         return PluginCallResult(output, elapsed_us, fuel_used)
+
+    def _record_telemetry(
+        self,
+        obs,
+        entry: str,
+        input_bytes: bytes,
+        output: bytes | None,
+        outcome: str,
+        elapsed_us: float,
+        fuel_used: int | None,
+        stats: ExecStats | None,
+        error: PluginError | None,
+        trap_code: str | None,
+    ) -> None:
+        """Registry + flight recorder + event log for one finished call."""
+        reg = obs.registry
+        name = self.name
+        reg.counter(
+            "waran_plugin_calls_total", "plugin invocations by outcome"
+        ).inc(plugin=name, outcome=outcome)
+        reg.histogram(
+            "waran_plugin_call_us", "end-to-end plugin call time (us)"
+        ).observe(elapsed_us, plugin=name)
+        if fuel_used is not None:
+            reg.histogram(
+                "waran_plugin_fuel_used", "fuel consumed per call"
+            ).observe(fuel_used, plugin=name)
+            # fuel is decremented exactly once per executed instruction,
+            # so the fuel delta *is* the instructions-retired count
+            reg.histogram(
+                "waran_plugin_instructions", "Wasm instructions retired per call"
+            ).observe(fuel_used, plugin=name)
+        if stats is not None:
+            reg.histogram(
+                "waran_wasm_frames", "function frames entered per call"
+            ).observe(stats.frames, plugin=name)
+            reg.histogram(
+                "waran_wasm_call_depth_peak", "peak call depth per call"
+            ).observe(stats.max_call_depth, plugin=name)
+            reg.histogram(
+                "waran_wasm_value_stack_peak",
+                "peak operand-stack height per call (static bound)",
+            ).observe(stats.max_value_stack, plugin=name)
+        if self.instance is not None and self.instance.memory is not None:
+            reg.gauge(
+                "waran_plugin_memory_pages", "linear memory size (64KiB pages)"
+            ).set(self.instance.memory.size_pages, plugin=name)
+        obs.flight.record(
+            plugin=name,
+            entry=entry,
+            generation=self.generation,
+            input_bytes=input_bytes,
+            output_bytes=output,
+            outcome=outcome,
+            elapsed_us=elapsed_us,
+            fuel_used=fuel_used,
+            instructions=fuel_used,
+            error=str(error) if error is not None else "",
+        )
+        if error is not None:
+            fields = {"entry": entry, "detail": str(error)}
+            if trap_code is not None:
+                fields["trap_code"] = trap_code
+            obs.events.emit(f"plugin.{error.kind}", source=name, **fields)
+
+    def replay(self, record: CallRecord, fresh: bool = True) -> PluginCallResult:
+        """Re-execute a flight-recorder capture for deterministic debugging.
+
+        With ``fresh=True`` (the default) the call runs against a brand-new
+        instance built from this host's current binary, so a deterministic
+        plugin reproduces the captured output byte-for-byte regardless of
+        any linear-memory state the live instance has accumulated since.
+        With ``fresh=False`` the live instance is used (useful to probe
+        state-dependent behaviour, at the cost of determinism).
+        """
+        if record.generation != self.generation:
+            if OBS.enabled:
+                OBS.events.emit(
+                    "plugin.replay_generation_mismatch",
+                    source=self.name,
+                    recorded=record.generation,
+                    current=self.generation,
+                )
+        if not fresh:
+            return self.call(record.input_bytes, entry=record.entry)
+        clone = PluginHost(
+            self.wasm_bytes,
+            name=f"{self.name}@replay",
+            limits=self.limits,
+            sanitize=False,  # the deployed binary already passed sanitization
+            extra_hostfuncs=self._extra_hostfuncs,
+            log_sink=self._log_sink,
+            output_record_bytes=self.output_record_bytes,
+        )
+        return clone.call(record.input_bytes, entry=record.entry)
 
     def _read_output(self, out_ptr) -> bytes:
         instance = self.instance

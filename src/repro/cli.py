@@ -8,6 +8,7 @@ Usage (``python -m repro <command>``)::
     python -m repro plugins                            # list shipped plugins
     python -m repro fig5a [--duration 10]              # run an experiment
     python -m repro fig5b | fig5c | fig5d | safety
+    python -m repro obs [--format json|prom]           # telemetry demo dump
 """
 
 from __future__ import annotations
@@ -152,6 +153,51 @@ def _cmd_fig5d(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    """Run a short instrumented workload, then dump the telemetry."""
+    import json
+
+    from repro import obs
+    from repro.abi import SchedulerPlugin
+    from repro.experiments.fig5d import make_ues
+    from repro.plugins import available_plugins, plugin_wasm
+
+    obs.enable()
+    obs.reset()
+
+    if args.plugin not in available_plugins():
+        print(f"error: unknown plugin {args.plugin!r}", file=sys.stderr)
+        return 1
+    plugin = SchedulerPlugin.load(plugin_wasm(args.plugin), name=args.plugin)
+    plugin.host.limits.fuel = 10_000_000
+    ues = make_ues(5)
+    for slot in range(args.calls):
+        plugin.schedule(52, ues, slot)
+    # a hot swap and a deliberately bad call so events/flight show faults too
+    plugin.swap(plugin_wasm(args.plugin))
+    try:
+        plugin.host.call(b"\x00" * 4)  # truncated input: ABI violation
+    except Exception:
+        pass
+
+    bundle = obs.OBS
+    if args.format == "prom":
+        sys.stdout.write(bundle.registry.to_prometheus())
+        return 0
+    sections = {
+        "metrics": lambda: bundle.registry.to_json(),
+        "spans": lambda: bundle.tracer.to_json(),
+        "events": lambda: bundle.events.to_json(),
+        "flight": lambda: bundle.flight.to_json(),
+    }
+    if args.section == "all":
+        doc = {name: build() for name, build in sections.items()}
+    else:
+        doc = {args.section: sections[args.section]()}
+    print(json.dumps(doc, indent=2))
+    return 0
+
+
 def _cmd_safety(args) -> int:
     from repro.experiments import run_safety_table
 
@@ -209,6 +255,24 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("safety", help="memory-safety comparison table")
     p.set_defaults(fn=_cmd_safety)
+
+    p = sub.add_parser(
+        "obs",
+        help="run an instrumented demo workload and dump telemetry",
+        description="Exercises a scheduler plugin with telemetry enabled, "
+        "then dumps metrics, spans, events and the flight recorder as JSON "
+        "(or the metrics registry as Prometheus text).",
+    )
+    p.add_argument("--format", choices=["json", "prom"], default="json")
+    p.add_argument(
+        "--section",
+        choices=["all", "metrics", "spans", "events", "flight"],
+        default="all",
+        help="JSON output only: which telemetry section to dump",
+    )
+    p.add_argument("--calls", type=int, default=25, help="demo plugin calls")
+    p.add_argument("--plugin", default="pf", help="demo scheduler plugin")
+    p.set_defaults(fn=_cmd_obs)
 
     args = parser.parse_args(argv)
     try:

@@ -18,6 +18,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.obs import OBS
+
 
 class FaultAction(enum.Enum):
     FALLBACK = "fallback"  # use default scheduler this slot
@@ -57,6 +59,19 @@ class FaultPolicy:
         else:
             action = FaultAction.FALLBACK
         self.events.append(FaultEvent(slot, slice_id, kind, action, detail))
+        if OBS.enabled:
+            OBS.events.emit(
+                "gnb.fault",
+                source=f"slice:{slice_id}",
+                slot=slot,
+                fault_kind=kind,
+                action=action.value,
+                consecutive=count,
+                detail=detail,
+            )
+            OBS.registry.counter(
+                "waran_gnb_faults_total", "plugin faults by kind and action"
+            ).inc(slice=str(slice_id), kind=kind, action=action.value)
         return action
 
     def record_success(self, slice_id: int) -> None:
@@ -72,3 +87,5 @@ class FaultPolicy:
         """Operator action: a fixed plugin was swapped in; trust it again."""
         self.quarantined.discard(slice_id)
         self.consecutive[slice_id] = 0
+        if OBS.enabled:
+            OBS.events.emit("gnb.release", source=f"slice:{slice_id}")

@@ -8,6 +8,7 @@ from repro.abi.host import PluginError, SchedulerPlugin
 from repro.channel.models import ChannelModel
 from repro.gnb.fault import FaultAction, FaultPolicy
 from repro.metrics import Accumulator, RateMeter, StreamingQuantile
+from repro.obs import OBS
 from repro.phy.numerology import CarrierConfig
 from repro.phy.tbs import transport_block_size_bits
 from repro.sched.intra import IntraSliceScheduler, make_intra_scheduler
@@ -145,6 +146,13 @@ class GnbHost:
 
     def step(self) -> dict[int, list[UeGrant]]:
         """Advance one slot; returns the executed grants per slice."""
+        with OBS.tracer.span("gnb.step", slot=self.slot):
+            executed = self._step_slot()
+        if OBS.enabled:
+            OBS.registry.counter("waran_gnb_slots_total", "slots scheduled").inc()
+        return executed
+
+    def _step_slot(self) -> dict[int, list[UeGrant]]:
         slot_dt = self.carrier.slot_duration_s
         now = self.now_s
 
@@ -198,6 +206,11 @@ class GnbHost:
                     tbs_bytes = 0  # TB lost; bytes stay queued for retx
                 delivered = ue.buffer.drain(tbs_bytes)
                 self.total_delivered_bytes += delivered
+                if OBS.enabled and delivered:
+                    OBS.registry.counter(
+                        "waran_gnb_delivered_bytes_total",
+                        "bytes delivered to UEs by slice",
+                    ).inc(delivered, slice=runtime.name)
                 ue.meter.add(now, delivered)
                 runtime.meter.add(now, delivered)
                 if self.inter_slice is not None:
@@ -245,6 +258,24 @@ class GnbHost:
             runtime.exec_time.add(call.elapsed_us)
             runtime.exec_p50.add(call.elapsed_us)
             runtime.exec_p99.add(call.elapsed_us)
+            if OBS.enabled:
+                OBS.registry.histogram(
+                    "waran_gnb_slice_exec_us",
+                    "per-slot plugin scheduling time by slice (us)",
+                ).observe(call.elapsed_us, slice=runtime.name)
+                slot_us = self.carrier.slot_duration_s * 1e6
+                if call.elapsed_us > slot_us:
+                    OBS.events.emit(
+                        "gnb.deadline_miss",
+                        source=runtime.name,
+                        slot=self.slot,
+                        elapsed_us=call.elapsed_us,
+                        slot_us=slot_us,
+                    )
+                    OBS.registry.counter(
+                        "waran_gnb_deadline_miss_total",
+                        "plugin calls that overran the slot duration",
+                    ).inc(slice=runtime.name)
             return call.grants
 
         scheduler = runtime.native or runtime.default

@@ -36,8 +36,20 @@ class RateMeter:
             self._window_start = end
 
     def finish(self, now_s: float) -> None:
-        """Flush any complete windows up to ``now_s``."""
+        """Flush complete windows up to ``now_s``, then the trailing partial.
+
+        A run rarely ends exactly on a window boundary; without this the
+        bytes delivered in the final partial window silently vanished from
+        the series.  The partial window is reported at its true rate
+        (bytes over the *elapsed fraction*, not the full window), so
+        ``sum(rate * width)`` over the series equals ``total_bytes * 8``.
+        """
         self._roll(now_s)
+        elapsed = now_s - self._window_start
+        if self._window_bytes and elapsed > 1e-9:
+            self.history.append((now_s, self._window_bytes * 8 / elapsed))
+            self._window_bytes = 0
+            self._window_start = now_s
 
     def average_bps(self, duration_s: float) -> float:
         """Mean bitrate over the whole run."""

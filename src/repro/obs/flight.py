@@ -1,0 +1,131 @@
+"""The plugin-call flight recorder.
+
+In the spirit of Wasm-R3 (record-reduce-replay, PAPERS.md): every call
+through :class:`repro.abi.host.PluginHost` can be captured as a
+:class:`CallRecord` - entry point, exact input bytes, output bytes, fuel
+and instruction counts, and the outcome (``ok`` or the fault kind).  The
+recorder keeps the last N records in a ring buffer, cheap enough to leave
+on in production; ``PluginHost.replay(record)`` re-executes a captured
+call against a fresh instance for deterministic debugging.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One captured host→plugin invocation."""
+
+    seq: int
+    plugin: str
+    entry: str
+    generation: int
+    input_bytes: bytes
+    output_bytes: bytes | None
+    outcome: str  # 'ok' | 'trap' | 'fuel' | 'abi' | 'deadline'
+    elapsed_us: float
+    fuel_used: int | None
+    instructions: int | None
+    error: str = ""
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self, max_bytes: int = 256) -> dict[str, Any]:
+        """JSON-friendly form; payloads hex-encoded and truncated."""
+
+        def hexed(data: bytes | None) -> str | None:
+            if data is None:
+                return None
+            clipped = data[:max_bytes]
+            text = clipped.hex()
+            if len(data) > max_bytes:
+                text += f"...(+{len(data) - max_bytes}B)"
+            return text
+
+        return {
+            "seq": self.seq,
+            "plugin": self.plugin,
+            "entry": self.entry,
+            "generation": self.generation,
+            "input_len": len(self.input_bytes),
+            "input_hex": hexed(self.input_bytes),
+            "output_len": len(self.output_bytes) if self.output_bytes is not None else None,
+            "output_hex": hexed(self.output_bytes),
+            "outcome": self.outcome,
+            "elapsed_us": self.elapsed_us,
+            "fuel_used": self.fuel_used,
+            "instructions": self.instructions,
+            "error": self.error,
+            **({"attrs": self.attrs} if self.attrs else {}),
+        }
+
+
+class FlightRecorder:
+    """Bounded ring buffer of the most recent plugin calls."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._records: deque[CallRecord] = deque(maxlen=capacity)
+        self._seq = itertools.count(1)
+
+    def record(
+        self,
+        plugin: str,
+        entry: str,
+        generation: int,
+        input_bytes: bytes,
+        output_bytes: bytes | None,
+        outcome: str,
+        elapsed_us: float,
+        fuel_used: int | None = None,
+        instructions: int | None = None,
+        error: str = "",
+        **attrs: Any,
+    ) -> CallRecord:
+        rec = CallRecord(
+            seq=next(self._seq),
+            plugin=plugin,
+            entry=entry,
+            generation=generation,
+            input_bytes=bytes(input_bytes),
+            output_bytes=bytes(output_bytes) if output_bytes is not None else None,
+            outcome=outcome,
+            elapsed_us=elapsed_us,
+            fuel_used=fuel_used,
+            instructions=instructions,
+            error=error,
+            attrs=dict(attrs),
+        )
+        self._records.append(rec)
+        return rec
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> list[CallRecord]:
+        """All retained records, oldest first."""
+        return list(self._records)
+
+    def last(self, n: int = 1) -> list[CallRecord]:
+        records = list(self._records)
+        return records[-n:]
+
+    def find(
+        self, plugin: str | None = None, outcome: str | None = None
+    ) -> list[CallRecord]:
+        return [
+            rec
+            for rec in self._records
+            if (plugin is None or rec.plugin == plugin)
+            and (outcome is None or rec.outcome == outcome)
+        ]
+
+    def reset(self) -> None:
+        self._records.clear()
+
+    def to_json(self, max_bytes: int = 256) -> list[dict[str, Any]]:
+        return [rec.to_json(max_bytes=max_bytes) for rec in self._records]

@@ -1,0 +1,245 @@
+"""The process-wide metrics registry.
+
+Three metric families, mirroring the Prometheus data model:
+
+- :class:`Counter` - a monotonically increasing total;
+- :class:`Gauge` - a value that can go up and down (set, not accumulated);
+- :class:`Histogram` - a streaming distribution backed by the library's
+  own :class:`repro.metrics.Accumulator` (count/mean/min/max) and two
+  :class:`repro.metrics.StreamingQuantile` estimators (p50/p99), i.e. the
+  same O(1)-memory machinery §5E uses for execution-time percentiles.
+
+Every metric supports label sets (``calls.inc(plugin="pf")``); each unique
+label combination materialises one child series.  Exposition is available
+as a JSON-friendly dict (:meth:`MetricsRegistry.to_json`) and as the
+Prometheus text format (:meth:`MetricsRegistry.to_prometheus`, histograms
+rendered as summaries with ``quantile`` labels).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.metrics import Accumulator, StreamingQuantile
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_text(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class Metric:
+    """Base class: a named family of labelled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._children: dict[LabelKey, object] = {}
+
+    def _child(self, labels: dict[str, str]):
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def _new_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def series(self) -> Iterator[tuple[LabelKey, object]]:
+        return iter(sorted(self._children.items()))
+
+
+class Counter(Metric):
+    """A monotonically increasing count (events, bytes, calls...)."""
+
+    kind = "counter"
+
+    def _new_child(self) -> list[float]:
+        return [0.0]
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self._child(labels)[0] += amount
+
+    def value(self, **labels: str) -> float:
+        child = self._children.get(_label_key(labels))
+        return child[0] if child is not None else 0.0
+
+
+class Gauge(Metric):
+    """An instantaneous value (memory pages, active plugins...)."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> list[float]:
+        return [0.0]
+
+    def set(self, value: float, **labels: str) -> None:
+        self._child(labels)[0] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        self._child(labels)[0] += amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self._child(labels)[0] -= amount
+
+    def value(self, **labels: str) -> float:
+        child = self._children.get(_label_key(labels))
+        return child[0] if child is not None else 0.0
+
+
+class _HistogramChild:
+    __slots__ = ("acc", "p50", "p99")
+
+    def __init__(self) -> None:
+        self.acc = Accumulator()
+        self.p50 = StreamingQuantile(0.5)
+        self.p99 = StreamingQuantile(0.99)
+
+    def observe(self, value: float) -> None:
+        self.acc.add(value)
+        self.p50.add(value)
+        self.p99.add(value)
+
+    def snapshot(self) -> dict[str, float]:
+        acc = self.acc
+        if acc.count == 0:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": acc.count,
+            "sum": acc.total,
+            "mean": acc.mean,
+            "min": acc.minimum,
+            "max": acc.maximum,
+            "stddev": acc.stddev,
+            "p50": self.p50.value,
+            "p99": self.p99.value,
+        }
+
+
+class Histogram(Metric):
+    """A streaming distribution: count/sum/mean/min/max plus p50/p99."""
+
+    kind = "histogram"
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild()
+
+    def observe(self, value: float, **labels: str) -> None:
+        self._child(labels).observe(value)
+
+    def snapshot(self, **labels: str) -> dict[str, float]:
+        child = self._children.get(_label_key(labels))
+        if child is None:
+            return {"count": 0, "sum": 0.0}
+        return child.snapshot()
+
+    def count(self, **labels: str) -> int:
+        child = self._children.get(_label_key(labels))
+        return child.acc.count if child is not None else 0
+
+
+class MetricsRegistry:
+    """Owns every metric family; the exposition endpoint reads from here.
+
+    Metrics are created lazily and idempotently: ``registry.counter(name)``
+    returns the existing family if one is already registered (raising only
+    if it exists with a *different* type).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    # ----- registration ----------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+        metric = cls(name, help)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, help)
+
+    def get(self, name: str) -> Metric | None:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    # ----- exposition ------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """A JSON-serialisable snapshot of every series."""
+        out: dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            series = []
+            for key, child in metric.series():
+                labels = dict(key)
+                if isinstance(metric, Histogram):
+                    series.append({"labels": labels, **child.snapshot()})
+                else:
+                    series.append({"labels": labels, "value": child[0]})
+            out[name] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "series": series,
+            }
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (histograms as summaries)."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            kind = "summary" if isinstance(metric, Histogram) else metric.kind
+            lines.append(f"# TYPE {name} {kind}")
+            for key, child in metric.series():
+                if isinstance(metric, Histogram):
+                    snap = child.snapshot()
+                    for q, qlabel in (("p50", "0.5"), ("p99", "0.99")):
+                        if q in snap:
+                            qkey = tuple(sorted(key + (("quantile", qlabel),)))
+                            lines.append(
+                                f"{name}{_label_text(qkey)} {snap[q]:g}"
+                            )
+                    lines.append(f"{name}_sum{_label_text(key)} {snap['sum']:g}")
+                    lines.append(f"{name}_count{_label_text(key)} {snap['count']:g}")
+                else:
+                    lines.append(f"{name}{_label_text(key)} {child[0]:g}")
+        return "\n".join(lines) + ("\n" if lines else "")

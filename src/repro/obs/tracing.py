@@ -1,0 +1,165 @@
+"""Lightweight tracing spans for the Wasm host stack.
+
+A :class:`Span` is a named, monotonic-clock interval with attributes and a
+parent link; spans opened while another span is active become its children,
+so one plugin call produces a tree (``plugin.call`` → ``encode`` /
+``invoke`` / ``decode``).  The API is the usual pair:
+
+- context manager: ``with tracer.span("plugin.call", plugin="pf"): ...``
+- decorator: ``@traced("wacc.compile")``
+
+Cost model: when the tracer is disabled, :meth:`Tracer.span` returns a
+shared null span - one method call and one branch, no allocation, no clock
+read - so instrumented hot paths stay within noise of uninstrumented code.
+Finished spans land in a bounded ring buffer (oldest evicted) and can be
+exported as a JSON-friendly list or an indented text tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from typing import Any
+
+
+class _NullSpan:
+    """The do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed interval; records its parent at open time."""
+
+    __slots__ = (
+        "tracer", "name", "span_id", "parent_id", "attrs",
+        "start_ns", "end_ns", "status",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = next(tracer._ids)
+        self.parent_id = tracer._stack[-1].span_id if tracer._stack else None
+        self.attrs = attrs
+        self.start_ns = 0
+        self.end_ns = 0
+        self.status = "ok"
+
+    @property
+    def elapsed_us(self) -> float:
+        return (self.end_ns - self.start_ns) / 1000.0
+
+    def set(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self.tracer._stack.append(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_ns = time.perf_counter_ns()
+        if exc_type is not None:
+            self.status = "error"
+            self.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+        stack = self.tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        self.tracer._finished.append(self)
+        return False
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "elapsed_us": self.elapsed_us,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Owns the active-span stack and the finished-span ring buffer."""
+
+    def __init__(self, capacity: int = 4096, enabled: bool = False):
+        self.enabled = enabled
+        self._ids = itertools.count(1)
+        self._stack: list[Span] = []
+        self._finished: deque[Span] = deque(maxlen=capacity)
+
+    def span(self, name: str, **attrs: Any):
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self._finished.clear()
+
+    def finished(self) -> list[Span]:
+        """Finished spans, oldest first."""
+        return list(self._finished)
+
+    def to_json(self) -> list[dict[str, Any]]:
+        return [span.to_json() for span in self._finished]
+
+    def render_tree(self) -> str:
+        """Indented text rendering of the recorded span forest."""
+        spans = list(self._finished)
+        children: dict[int | None, list[Span]] = {}
+        ids = {span.span_id for span in spans}
+        for span in spans:
+            # a parent evicted from the ring buffer orphans its subtree
+            parent = span.parent_id if span.parent_id in ids else None
+            children.setdefault(parent, []).append(span)
+        lines: list[str] = []
+
+        def walk(parent: int | None, depth: int) -> None:
+            for span in sorted(children.get(parent, []), key=lambda s: s.start_ns):
+                attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+                lines.append(
+                    f"{'  ' * depth}{span.name} {span.elapsed_us:.1f}us"
+                    + (f" [{attrs}]" if attrs else "")
+                )
+                walk(span.span_id, depth + 1)
+
+        walk(None, 0)
+        return "\n".join(lines)
+
+
+def traced(name: str | None = None, tracer: Tracer | None = None):
+    """Decorator form: time every call of the wrapped function as a span."""
+
+    def decorate(fn):
+        span_name = name or fn.__qualname__
+
+        def wrapper(*args, **kwargs):
+            from repro.obs import OBS
+
+            t = tracer if tracer is not None else OBS.tracer
+            with t.span(span_name):
+                return fn(*args, **kwargs)
+
+        wrapper.__name__ = fn.__name__
+        wrapper.__qualname__ = fn.__qualname__
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate

@@ -9,6 +9,7 @@ from typing import Any
 
 from repro.abi.host import HostLimits, PluginError, PluginHost
 from repro.e2 import messages
+from repro.obs import OBS
 from repro.e2.comm import CommChannel
 from repro.ric import wire
 from repro.wasm.instance import HostFunc
@@ -204,14 +205,36 @@ class NearRtRic:
             for msg_type in runtime.msg_types:
                 records = inputs.get(msg_type, [])
                 payload = wire.pack_xapp_input(msg_type, records)
-                try:
-                    result = runtime.host.call(payload, entry="on_indication")
-                    actions = wire.unpack_xapp_actions(result.output)
-                except (PluginError, wire.XappWireError):
-                    runtime.faults += 1
-                    continue
+                with OBS.tracer.span(
+                    "ric.xapp.dispatch", xapp=runtime.name, msg_type=msg_type
+                ):
+                    try:
+                        result = runtime.host.call(payload, entry="on_indication")
+                        actions = wire.unpack_xapp_actions(result.output)
+                    except (PluginError, wire.XappWireError) as exc:
+                        runtime.faults += 1
+                        if OBS.enabled:
+                            OBS.registry.counter(
+                                "waran_ric_xapp_faults_total",
+                                "xApp dispatches that faulted",
+                            ).inc(xapp=runtime.name)
+                            OBS.events.emit(
+                                "ric.xapp_fault",
+                                source=runtime.name,
+                                msg_type=msg_type,
+                                detail=str(exc),
+                            )
+                        continue
                 runtime.calls += 1
                 runtime.actions_emitted += len(actions)
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "waran_ric_xapp_calls_total", "successful xApp dispatches"
+                    ).inc(xapp=runtime.name)
+                    if actions:
+                        OBS.registry.counter(
+                            "waran_ric_xapp_actions_total", "actions emitted by xApps"
+                        ).inc(len(actions), xapp=runtime.name)
                 for action in actions:
                     self._execute_action(source, action)
                     executed.append(action)

@@ -577,4 +577,14 @@ def compile_module(source: str, optimize: bool = True) -> Module:
 
 def compile_source(source: str, optimize: bool = True) -> bytes:
     """Compile WACC source to binary Wasm bytes."""
-    return encode_module(compile_module(source, optimize=optimize))
+    from repro.obs import OBS
+
+    with OBS.tracer.span("wacc.compile", source_bytes=len(source)) as span:
+        raw = encode_module(compile_module(source, optimize=optimize))
+    if OBS.enabled:
+        span.set(wasm_bytes=len(raw))
+        OBS.registry.counter("waran_wacc_compiles_total", "WACC compilations").inc()
+        OBS.registry.histogram(
+            "waran_wacc_compile_us", "WACC source -> Wasm compile time (us)"
+        ).observe(span.elapsed_us)
+    return raw

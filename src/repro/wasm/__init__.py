@@ -23,6 +23,7 @@ Public entry points:
 from repro.wasm.decoder import decode_module
 from repro.wasm.encoder import encode_module
 from repro.wasm.instance import HostFunc, Instance, Store
+from repro.wasm.interpreter import ExecStats
 from repro.wasm.module import Module
 from repro.wasm.traps import (
     FuelExhausted,
@@ -41,6 +42,7 @@ __all__ = [
     "Instance",
     "Store",
     "HostFunc",
+    "ExecStats",
     "Trap",
     "WasmError",
     "ValidationError",

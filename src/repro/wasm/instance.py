@@ -34,6 +34,9 @@ class Store:
         self.funcs: list[FuncInstance] = []
         self.fuel = fuel
         self.max_call_depth = max_call_depth
+        #: optional :class:`repro.wasm.interpreter.ExecStats`; when set the
+        #: interpreter updates it once per function frame (see ExecStats)
+        self.stats = None
 
     def alloc_func(self, func: "FuncInstance") -> int:
         self.funcs.append(func)

@@ -489,10 +489,73 @@ def _else_end(control: dict[int, tuple[int, int | None]], else_pc: int) -> int:
     raise AssertionError("else without recorded end")  # pragma: no cover
 
 
+#: net operand-stack effect per dispatch tag (calls treated as +1: the
+#: worst net push once arguments are consumed).  Used only for the static
+#: per-function peak estimate feeding :class:`ExecStats`.
+_STACK_DELTAS: dict[int, int] = {
+    T_LOCAL_GET: 1, T_CONST: 1, T_GLOBAL_GET: 1, T_MEMSIZE: 1,
+    T_CALL: 1, T_CALL_INDIRECT: 1,
+    T_UNOP: 0, T_LOCAL_TEE: 0, T_MEMGROW: 0, T_LOAD_I: 0,
+    T_LOAD_F32: 0, T_LOAD_F64: 0, T_BLOCK: 0, T_LOOP: 0, T_ELSE: 0,
+    T_END: 0, T_NOP: 0, T_UNREACHABLE: 0, T_BR: 0, T_RETURN: 0,
+    T_BINOP: -1, T_LOCAL_SET: -1, T_GLOBAL_SET: -1, T_DROP: -1,
+    T_BR_IF: -1, T_IF: -1, T_BR_TABLE: -1,
+    T_STORE_I: -2, T_STORE_F32: -2, T_STORE_F64: -2, T_SELECT: -2,
+}
+
+
+def _static_max_stack(ops: list[tuple]) -> int:
+    """Linear-scan upper-bound of a body's peak operand-stack height.
+
+    An estimate, not the validator's exact type-stack: branch targets are
+    ignored and the running height is clamped at zero, so the result is a
+    monotone upper bound good enough for observability.
+    """
+    height = 0
+    peak = 0
+    for ins in ops:
+        height += _STACK_DELTAS.get(ins[0], 0)
+        if height < 0:
+            height = 0
+        elif height > peak:
+            peak = height
+    return peak
+
+
+class ExecStats:
+    """Per-call interpreter counters, collected only when attached.
+
+    A host opts in by setting ``store.stats = ExecStats()`` before a call;
+    the interpreter then updates it once per *function frame* (never per
+    instruction, so the counters cost nothing measurable):
+
+    - ``frames``: Wasm function frames entered;
+    - ``max_call_depth``: deepest call nesting reached;
+    - ``max_value_stack``: peak operand-stack height (static per-function
+      upper bound, maxed over entered frames).
+
+    Instruction counts come from fuel accounting (fuel is decremented
+    exactly once per executed instruction), so hosts derive them from the
+    fuel delta rather than a second per-instruction counter.
+    """
+
+    __slots__ = ("frames", "max_call_depth", "max_value_stack")
+
+    def __init__(self) -> None:
+        self.frames = 0
+        self.max_call_depth = 0
+        self.max_value_stack = 0
+
+    def reset(self) -> None:
+        self.frames = 0
+        self.max_call_depth = 0
+        self.max_value_stack = 0
+
+
 class PreparedCode:
     """A function body lowered to tagged dispatch tuples."""
 
-    __slots__ = ("locals", "body", "ops", "local_defaults")
+    __slots__ = ("locals", "body", "ops", "local_defaults", "max_stack")
 
     def __init__(self, code: Code):
         from repro.wasm.wtypes import ValType
@@ -503,6 +566,7 @@ class PreparedCode:
         self.local_defaults = [
             0 if vt in (ValType.I32, ValType.I64) else 0.0 for vt in code.locals
         ]
+        self.max_stack = _static_max_stack(self.ops)
 
 
 class _Label:
@@ -527,6 +591,14 @@ def execute(store, instance, prepared: PreparedCode, args: list, result_arity: i
     """
     if depth > store.max_call_depth:
         raise StackExhausted(depth)
+
+    stats = store.stats
+    if stats is not None:
+        stats.frames += 1
+        if depth > stats.max_call_depth:
+            stats.max_call_depth = depth
+        if prepared.max_stack > stats.max_value_stack:
+            stats.max_value_stack = prepared.max_stack
 
     ops = prepared.ops
     locals_: list = args + prepared.local_defaults.copy()

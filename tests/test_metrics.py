@@ -64,6 +64,71 @@ class TestAccumulator:
         assert acc.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
 
 
+class TestAccumulatorMerge:
+    """Parallel Welford merge vs a single pass over the concatenation."""
+
+    @staticmethod
+    def _check(left: list, right: list) -> None:
+        a, b, whole = Accumulator(), Accumulator(), Accumulator()
+        a.extend(left)
+        b.extend(right)
+        whole.extend(left + right)
+        merged = a.merge(b)
+        assert merged.count == whole.count
+        assert merged.total == pytest.approx(whole.total, rel=1e-12, abs=1e-9)
+        if whole.count:
+            assert merged.mean == pytest.approx(whole.mean, rel=1e-9, abs=1e-9)
+            assert merged.variance == pytest.approx(
+                whole.variance, rel=1e-6, abs=1e-9
+            )
+            assert merged.minimum == whole.minimum
+            assert merged.maximum == whole.maximum
+
+    def test_empty_with_empty(self):
+        merged = Accumulator().merge(Accumulator())
+        assert merged.count == 0
+        assert merged.total == 0.0
+        assert merged.variance == 0.0
+        assert merged.minimum == math.inf and merged.maximum == -math.inf
+
+    def test_one_sided_left(self):
+        self._check([3.0, -1.0, 4.0], [])
+
+    def test_one_sided_right(self):
+        self._check([], [3.0, -1.0, 4.0])
+
+    def test_single_element_each(self):
+        self._check([2.0], [8.0])
+
+    def test_lopsided_sizes(self):
+        rng = random.Random(9)
+        self._check([rng.gauss(0, 1)], [rng.gauss(5, 2) for _ in range(999)])
+
+    def test_merge_does_not_mutate_inputs(self):
+        a, b = Accumulator(), Accumulator()
+        a.extend([1.0, 2.0])
+        b.extend([10.0])
+        before = (a.count, a.mean, b.count, b.mean)
+        a.merge(b)
+        assert (a.count, a.mean, b.count, b.mean) == before
+
+    def test_merge_is_commutative(self):
+        a, b = Accumulator(), Accumulator()
+        a.extend([1.0, 2.0, 3.0])
+        b.extend([100.0, 200.0])
+        ab, ba = a.merge(b), b.merge(a)
+        assert ab.count == ba.count
+        assert ab.mean == pytest.approx(ba.mean)
+        assert ab.variance == pytest.approx(ba.variance)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), max_size=60),
+        st.lists(st.floats(-1e6, 1e6), max_size=60),
+    )
+    def test_any_split_matches_single_pass(self, left, right):
+        self._check(left, right)
+
+
 class TestStreamingQuantile:
     def test_rejects_bad_quantile(self):
         with pytest.raises(ValueError):
@@ -159,6 +224,51 @@ class TestRateMeter:
     def test_bad_window_rejected(self):
         with pytest.raises(ValueError):
             RateMeter(window_s=0)
+
+    def test_finish_flushes_trailing_partial_window(self):
+        """Regression: bytes in the last partial window used to vanish."""
+        meter = RateMeter(window_s=1.0)
+        meter.add(0.25, 1000)  # no full window ever completes
+        meter.finish(0.5)
+        ((end, bps),) = meter.series()
+        assert end == 0.5
+        # rate over the *elapsed* half window, not diluted to the full one
+        assert bps == pytest.approx(1000 * 8 / 0.5)
+
+    def test_finish_partial_after_full_windows(self):
+        meter = RateMeter(window_s=1.0)
+        meter.add(0.5, 1000)  # window [0, 1)
+        meter.add(2.25, 600)  # partial window [2, 2.5)
+        meter.finish(2.5)
+        series = meter.series()
+        assert [t for t, _ in series] == [1.0, 2.0, 2.5]
+        assert series[0][1] == pytest.approx(8000)
+        assert series[1][1] == 0.0
+        assert series[2][1] == pytest.approx(600 * 8 / 0.5)
+
+    def test_finish_on_boundary_adds_nothing(self):
+        meter = RateMeter(window_s=1.0)
+        meter.add(0.5, 1000)
+        meter.finish(1.0)
+        assert len(meter.series()) == 1
+        meter.finish(1.0)  # idempotent at the boundary
+        assert len(meter.series()) == 1
+
+    def test_partial_flush_conserves_bytes(self):
+        """sum(rate * width) over the series equals total_bytes * 8."""
+        meter = RateMeter(window_s=1.0)
+        rng = random.Random(4)
+        now = 0.0
+        for _ in range(200):
+            now += rng.uniform(0.001, 0.09)
+            meter.add(now, rng.randrange(1, 5000))
+        meter.finish(now)
+        bits = 0.0
+        prev_end = 0.0
+        for end, bps in meter.series():
+            bits += bps * (end - prev_end)
+            prev_end = end
+        assert bits == pytest.approx(meter.total_bytes * 8)
 
 
 class TestTimeSeries:

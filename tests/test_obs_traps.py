@@ -1,0 +1,118 @@
+"""Every trap kind raised through PluginHost.call lands in the event log.
+
+One tiny WAT module per spec trap code; each is loaded into a bare
+:class:`PluginHost` (sanitizer bypassed - these modules deliberately
+misbehave) and invoked through the normal byte-buffer path.  The host must
+classify the fault, raise :class:`PluginError`, and emit a structured
+event carrying the machine-readable trap code.
+"""
+
+import pytest
+
+from repro import obs
+from repro.abi.host import PluginError, PluginHost
+from repro.obs import OBS
+from repro.wasm.wat import assemble
+
+HEADER = '(func (export "alloc") (param i32) (result i32) (i32.const 1024))'
+
+#: trap code -> (module body, expected PluginError.kind, fuel limit)
+TRAP_MODULES = {
+    "oob": (
+        f"""(module (memory 1) {HEADER}
+          (func (export "run") (param i32 i32) (result i32)
+            (i32.load (i32.const 0x7fffffff))))""",
+        "trap",
+        None,
+    ),
+    "div0": (
+        f"""(module (memory 1) {HEADER}
+          (func (export "run") (param i32 i32) (result i32)
+            (i32.div_s (i32.const 1) (i32.const 0))))""",
+        "trap",
+        None,
+    ),
+    "overflow": (
+        f"""(module (memory 1) {HEADER}
+          (func (export "run") (param i32 i32) (result i32)
+            (i32.div_s (i32.const -2147483648) (i32.const -1))))""",
+        "trap",
+        None,
+    ),
+    "trunc": (
+        f"""(module (memory 1) {HEADER}
+          (func (export "run") (param i32 i32) (result i32)
+            (i32.trunc_f64_s (f64.const 4e10))))""",
+        "trap",
+        None,
+    ),
+    "unreachable": (
+        f"""(module (memory 1) {HEADER}
+          (func (export "run") (param i32 i32) (result i32)
+            (unreachable)))""",
+        "trap",
+        None,
+    ),
+    "stack": (
+        f"""(module (memory 1) {HEADER}
+          (func $r (export "run") (param i32 i32) (result i32)
+            (call $r (local.get 0) (local.get 1))))""",
+        "trap",
+        None,
+    ),
+    "fuel": (
+        f"""(module (memory 1) {HEADER}
+          (func (export "run") (param i32 i32) (result i32)
+            (loop $top (br $top)) (i32.const 0)))""",
+        "fuel",
+        10_000,
+    ),
+}
+
+
+@pytest.fixture
+def telemetry():
+    obs.enable()
+    obs.reset()
+    yield OBS
+    obs.reset()
+    obs.disable()
+
+
+@pytest.mark.parametrize("trap_code", sorted(TRAP_MODULES))
+def test_trap_kind_produces_structured_event(telemetry, trap_code):
+    source, expected_kind, fuel = TRAP_MODULES[trap_code]
+    host = PluginHost(assemble(source), name=f"bad-{trap_code}", sanitize=False)
+    if fuel is not None:
+        host.limits.fuel = fuel
+
+    with pytest.raises(PluginError) as info:
+        host.call(b"\x00" * 8)
+    assert info.value.kind == expected_kind
+
+    (event,) = telemetry.events.events(kind=f"plugin.{expected_kind}")
+    assert event.source == f"bad-{trap_code}"
+    assert event.fields["trap_code"] == trap_code
+    assert event.fields["entry"] == "run"
+
+    # the failed call is also in the flight recorder with the same outcome
+    (rec,) = telemetry.flight.last(1)
+    assert rec.outcome == expected_kind
+    assert rec.output_bytes is None
+
+    # ... and counted in the registry under its outcome label
+    calls = telemetry.registry.counter("waran_plugin_calls_total")
+    assert calls.value(plugin=f"bad-{trap_code}", outcome=expected_kind) == 1
+
+
+def test_abi_violation_produces_event(telemetry):
+    """Bad pointers are host-detected faults: kind 'abi', no trap code."""
+    source = f"""(module (memory 1) {HEADER}
+      (func (export "run") (param i32 i32) (result i32) (i32.const -1)))"""
+    host = PluginHost(assemble(source), name="bad-abi", sanitize=False)
+    with pytest.raises(PluginError) as info:
+        host.call(b"\x00" * 8)
+    assert info.value.kind == "abi"
+    (event,) = telemetry.events.events(kind="plugin.abi")
+    assert event.source == "bad-abi"
+    assert "trap_code" not in event.fields

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.codecs",
     "repro.cryptolite",
     "repro.metrics",
+    "repro.obs",
     "repro.phy",
     "repro.channel",
     "repro.traffic",

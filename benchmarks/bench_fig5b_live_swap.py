@@ -11,7 +11,9 @@ import pytest
 from benchmarks.conftest import print_table
 from repro.abi import SchedulerPlugin
 from repro.experiments.fig5b import UE_MCS, run_fig5b
+from repro.obs import OBS
 from repro.plugins import plugin_wasm
+from repro.wasm.threaded import resolve_engine
 
 
 @pytest.mark.benchmark(group="fig5b")
@@ -20,12 +22,27 @@ def test_fig5b_swap_latency(benchmark):
     binaries = [plugin_wasm("pf"), plugin_wasm("rr"), plugin_wasm("mt")]
     state = {"i": 0}
 
+    engine = resolve_engine()
+    hits = OBS.registry.counter("waran_wasm_codecache_hits_total")
+    misses = OBS.registry.counter("waran_wasm_codecache_misses_total")
+    h0, m0 = hits.value(engine=engine), misses.value(engine=engine)
+
     def hot_swap():
         state["i"] += 1
         plugin.swap(binaries[state["i"] % 3])
 
     benchmark(hot_swap)
     assert plugin.host.generation > 0
+
+    # every swap decodes a fresh Module from the same bytes: the code
+    # cache must absorb the re-lowering (ISSUE 2 acceptance: >= 90%)
+    dh = hits.value(engine=engine) - h0
+    dm = misses.value(engine=engine) - m0
+    assert dh + dm > 0, "swaps did not touch the code cache"
+    hit_rate = dh / (dh + dm)
+    print(f"\ncode cache during hot swap: {dh:.0f} hits / {dm:.0f} misses "
+          f"({hit_rate:.1%})")
+    assert hit_rate >= 0.90, f"cache hit rate {hit_rate:.1%} below 90%"
 
 
 @pytest.mark.benchmark(group="fig5b")

@@ -50,28 +50,35 @@ MEMCPY = """
 """
 
 
+ENGINES = ["legacy", "threaded"]
+
+
 @pytest.mark.benchmark(group="micro-wasm")
-def test_interpreter_arith_loop(benchmark):
-    inst = Instance(decode_module(assemble(LOOP_SUM)))
+@pytest.mark.parametrize("engine", ENGINES)
+def test_interpreter_arith_loop(benchmark, engine):
+    inst = Instance(decode_module(assemble(LOOP_SUM)), engine=engine)
     assert benchmark(inst.call, "sum", 1000) == 499500
 
 
 @pytest.mark.benchmark(group="micro-wasm")
-def test_interpreter_call_heavy(benchmark):
-    inst = Instance(decode_module(assemble(FIB)))
+@pytest.mark.parametrize("engine", ENGINES)
+def test_interpreter_call_heavy(benchmark, engine):
+    inst = Instance(decode_module(assemble(FIB)), engine=engine)
     assert benchmark(inst.call, "fib", 12) == 144
 
 
 @pytest.mark.benchmark(group="micro-wasm")
-def test_interpreter_memory_loop(benchmark):
-    inst = Instance(decode_module(assemble(MEMCPY)))
+@pytest.mark.parametrize("engine", ENGINES)
+def test_interpreter_memory_loop(benchmark, engine):
+    inst = Instance(decode_module(assemble(MEMCPY)), engine=engine)
     benchmark(inst.call, "copy", 512)
 
 
 @pytest.mark.benchmark(group="micro-wasm")
-def test_interpreter_fuel_overhead(benchmark):
+@pytest.mark.parametrize("engine", ENGINES)
+def test_interpreter_fuel_overhead(benchmark, engine):
     """Same loop with metering on: the per-instruction fuel tax."""
-    inst = Instance(decode_module(assemble(LOOP_SUM)))
+    inst = Instance(decode_module(assemble(LOOP_SUM)), engine=engine)
     assert benchmark(inst.call, "sum", 1000, fuel=10_000_000) == 499500
 
 

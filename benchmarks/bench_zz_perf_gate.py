@@ -1,0 +1,30 @@
+"""Perf regression gate - runs last (``zz``) so the registry is full.
+
+Compares this session's ``waran_plugin_call_us`` p50/p99 against the
+committed ``BENCH_obs.json`` baseline and fails the bench job when any
+plugin regressed by more than the tolerance factor (default 1.25).
+
+Noisy-runner escape hatches::
+
+    WARAN_PERF_GATE=off              # skip the gate entirely
+    WARAN_PERF_GATE_TOLERANCE=2.0    # widen the allowed factor
+
+The gate only judges label sets measured both in the baseline and in this
+session (with enough samples each), so running a subset of the benchmarks
+gates just that subset.  A p99 regression additionally needs the median
+to have moved (>10%) before it counts: on small runners a lone scheduler
+hiccup owns the top percentile, while a real regression shifts p50 too.
+"""
+
+import pytest
+
+from benchmarks.conftest import perf_gate_violations
+
+
+@pytest.mark.benchmark(group="perf-gate")
+def test_plugin_call_time_did_not_regress(benchmark):
+    # wrapped in pedantic so the gate also runs under --benchmark-only
+    violations = benchmark.pedantic(perf_gate_violations, rounds=1, iterations=1)
+    assert not violations, "perf regression vs BENCH_obs.json:\n" + "\n".join(
+        violations
+    )

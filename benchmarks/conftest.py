@@ -20,13 +20,18 @@ Run with::
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import re
 
 import pytest
 
 from repro import obs
 
 BENCH_OBS_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+BENCH_THREADED_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_threaded.json"
+)
 
 _ran_benchmarks = False
 
@@ -75,6 +80,122 @@ def pytest_sessionfinish(session, exitstatus):
         "metrics": obs.OBS.registry.to_json(),
     }
     BENCH_OBS_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    threaded_doc = engine_comparison_report()
+    if threaded_doc["micro"] or threaded_doc["fig5d"]:
+        threaded_doc["written_unix"] = int(time.time())
+        BENCH_THREADED_PATH.write_text(
+            json.dumps(threaded_doc, indent=2, sort_keys=True) + "\n"
+        )
+
+
+def engine_comparison_report() -> dict:
+    """Side-by-side legacy/threaded numbers from the live registry.
+
+    ``micro`` pairs up the engine-parametrized ``bench_micro_wasm``
+    results (``test_x[...-legacy]`` vs ``test_x[...-threaded]``) and
+    reports the speedup; ``fig5d`` carries the per-plugin call-time
+    quantiles of the session's default engine; ``codecache`` the hit/miss
+    counters.
+    """
+    from repro.wasm.codecache import stats as cache_stats
+    from repro.wasm.threaded import resolve_engine
+
+    reg = obs.OBS.registry
+    per_engine: dict[str, dict[str, float]] = {}
+    mean_us = reg.get("waran_bench_mean_us")
+    if mean_us is not None:
+        for key, child in mean_us.series():
+            name = dict(key).get("bench", "")
+            m = re.fullmatch(r"(.+)\[(?:(.*)-)?(legacy|threaded)\]", name)
+            if not m:
+                continue
+            base = m.group(1) + (f"[{m.group(2)}]" if m.group(2) else "")
+            per_engine.setdefault(base, {})[m.group(3)] = child[0]
+    micro = {}
+    for base, engines in sorted(per_engine.items()):
+        row = {f"{e}_mean_us": round(v, 2) for e, v in engines.items()}
+        if "legacy" in engines and "threaded" in engines and engines["threaded"]:
+            row["speedup"] = round(engines["legacy"] / engines["threaded"], 2)
+        micro[base] = row
+
+    fig5d = {}
+    call_us = reg.get("waran_plugin_call_us")
+    if call_us is not None:
+        for key, child in call_us.series():
+            snap = child.snapshot()
+            if snap["count"]:
+                fig5d[dict(key).get("plugin", "?")] = {
+                    "p50_us": round(snap["p50"], 2),
+                    "p99_us": round(snap["p99"], 2),
+                    "count": snap["count"],
+                }
+
+    return {
+        "schema": "waran-bench-threaded/1",
+        "default_engine": resolve_engine(),
+        "micro": micro,
+        "fig5d": fig5d,
+        "codecache": cache_stats(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# perf regression gate (ISSUE 2 satellite): current session vs BENCH_obs.json
+# ---------------------------------------------------------------------------
+
+GATE_ENV = "WARAN_PERF_GATE"  # set to "off" to disable on noisy runners
+GATE_TOLERANCE_ENV = "WARAN_PERF_GATE_TOLERANCE"  # regression factor, default 1.25
+# a p99 violation only counts when the median moved too: on small/shared
+# runners a single scheduler hiccup lands in the top percentile and swings
+# p99 2-4x between runs of identical code, while a real regression (e.g.
+# forcing engine=legacy) shifts p50 right along with the tail
+GATE_P99_CORROBORATION = 1.10
+
+
+def perf_gate_violations() -> list[str]:
+    """Compare live ``waran_plugin_call_us`` p50/p99 against the baseline.
+
+    Returns human-readable violations (empty = gate passes).  Only label
+    sets present in both the committed ``BENCH_obs.json`` and the current
+    registry are compared, so partial bench runs gate only what they
+    measured.
+    """
+    if os.environ.get(GATE_ENV, "").lower() in ("off", "0", "false"):
+        return []
+    tolerance = float(os.environ.get(GATE_TOLERANCE_ENV, "1.25"))
+    if not BENCH_OBS_PATH.exists():
+        return []
+    baseline = json.loads(BENCH_OBS_PATH.read_text())
+    base_series = (
+        baseline.get("metrics", {}).get("waran_plugin_call_us", {}).get("series", [])
+    )
+    if not base_series:
+        return []
+    current = obs.OBS.registry.histogram("waran_plugin_call_us")
+    violations = []
+    for entry in base_series:
+        labels = entry.get("labels", {})
+        if entry.get("count", 0) < 50:
+            continue  # too few baseline samples to gate on
+        snap = current.snapshot(**labels)
+        if snap.get("count", 0) < 50:
+            continue  # not measured (enough) this session
+        p50_ratio = None
+        if entry.get("p50") and snap.get("p50"):
+            p50_ratio = snap["p50"] / entry["p50"]
+        for q in ("p50", "p99"):
+            if q in entry and q in snap and snap[q] > entry[q] * tolerance:
+                if (
+                    q == "p99"
+                    and p50_ratio is not None
+                    and p50_ratio <= GATE_P99_CORROBORATION
+                ):
+                    continue  # uncorroborated tail spike: scheduler noise
+                violations.append(
+                    f"waran_plugin_call_us{labels} {q}: {snap[q]:.1f}us vs "
+                    f"baseline {entry[q]:.1f}us (> x{tolerance})"
+                )
+    return violations
 
 
 def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:

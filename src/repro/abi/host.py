@@ -73,6 +73,7 @@ class PluginHost:
         output_record_bytes: int = 8,
         allowed_imports: frozenset[str] | None = None,
         required_exports: dict | None = None,
+        engine: str | None = None,
     ):
         self.name = name
         self.limits = limits or HostLimits()
@@ -82,8 +83,12 @@ class PluginHost:
         self.output_record_bytes = output_record_bytes
         self._allowed_imports = allowed_imports
         self._required_exports = required_exports
+        self._engine = engine
         self.generation = 0
         self.instance: Instance | None = None
+        #: number of times the host had to call the plugin's ``alloc``
+        #: (first call, scratch growth, or after a swap/load)
+        self.scratch_allocs = 0
         self._load(wasm_bytes)
 
     # ----- lifecycle ---------------------------------------------------------
@@ -99,7 +104,9 @@ class PluginHost:
         try:
             module = decode_module(wasm_bytes)
             env = make_env(log_sink=self._log_sink, extra=self._extra_hostfuncs)
-            self.instance = Instance(module, imports={"env": env}, store=Store())
+            self.instance = Instance(
+                module, imports={"env": env}, store=Store(), engine=self._engine
+            )
         except WasmError as exc:
             if OBS.enabled:
                 OBS.events.emit(
@@ -107,6 +114,9 @@ class PluginHost:
                 )
             raise PluginError(f"cannot load plugin {self.name}: {exc}", "load") from exc
         self.wasm_bytes = wasm_bytes
+        # a new instance invalidates any pointer the old one handed out
+        self._scratch_ptr: int | None = None
+        self._scratch_cap = 0
 
     def swap(self, wasm_bytes: bytes) -> int:
         """Replace the plugin binary (hot swap).  Returns the new generation.
@@ -166,17 +176,28 @@ class PluginHost:
         with root:
             try:
                 with tracer.span("plugin.encode"):
-                    in_ptr = instance.call("alloc", len(input_bytes), fuel=fuel)
-                    if in_ptr is None or in_ptr < 0:
-                        raise PluginError(
-                            f"{self.name}: alloc returned bad pointer {in_ptr}",
-                            "abi",
-                        )
+                    # the input staging region is persistent: the plugin's
+                    # `alloc` is only consulted on the first call and when
+                    # the input outgrows the scratch capacity - it never
+                    # shrinks, so back-to-back calls reuse one region
+                    in_len = len(input_bytes)
+                    if self._scratch_ptr is not None and in_len <= self._scratch_cap:
+                        in_ptr = self._scratch_ptr
+                        entry_fuel = fuel
+                    else:
+                        in_ptr = instance.call("alloc", in_len, fuel=fuel)
+                        if in_ptr is None or in_ptr < 0:
+                            raise PluginError(
+                                f"{self.name}: alloc returned bad pointer {in_ptr}",
+                                "abi",
+                            )
+                        self._scratch_ptr = in_ptr
+                        self._scratch_cap = max(self._scratch_cap, in_len)
+                        self.scratch_allocs += 1
+                        entry_fuel = "unset"
                     instance.memory.write(in_ptr, input_bytes)
                 with tracer.span("plugin.invoke"):
-                    out_ptr = instance.call(
-                        entry, in_ptr, len(input_bytes), fuel="unset"
-                    )
+                    out_ptr = instance.call(entry, in_ptr, in_len, fuel=entry_fuel)
                 with tracer.span("plugin.decode"):
                     output = self._read_output(out_ptr)
             except PluginError as exc:
@@ -304,6 +325,7 @@ class PluginHost:
             extra_hostfuncs=self._extra_hostfuncs,
             log_sink=self._log_sink,
             output_record_bytes=self.output_record_bytes,
+            engine=self._engine,
         )
         return clone.call(record.input_bytes, entry=record.entry)
 

@@ -71,8 +71,14 @@ def _cmd_wat(args) -> int:
 def _cmd_disasm(args) -> int:
     from repro.wasm.disasm import disassemble
 
+    raw = open(args.binary, "rb").read()
     try:
-        print(disassemble(open(args.binary, "rb").read()))
+        if args.threaded:
+            from repro.wasm.threaded import dump_threaded
+
+            print(dump_threaded(raw))
+        else:
+            print(disassemble(raw))
     except BrokenPipeError:  # e.g. `waran disasm x.wasm | head`
         pass
     return 0
@@ -232,6 +238,11 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("disasm", help="disassemble a Wasm binary")
     p.add_argument("binary")
+    p.add_argument(
+        "--threaded",
+        action="store_true",
+        help="dump the threaded-code lowering (slots, fuel costs, fusions)",
+    )
     p.set_defaults(fn=_cmd_disasm)
 
     p = sub.add_parser("plugins", help="list shipped plugins")

@@ -1,0 +1,103 @@
+"""Process-wide compiled-code cache keyed by module content hash.
+
+Lowering a function body (to legacy tagged tuples or threaded closures)
+is pure per-``Code`` work, so it is shareable across every
+:class:`~repro.wasm.instance.Instance` of the *same bytes* — not just the
+same :class:`~repro.wasm.module.Module` object.  That matters for the
+paper's hot-swap story (Fig. 5b): a live swap decodes a fresh module from
+the plugin ``.wc`` bytes, and multi-UE coexistence (Fig. 5a) instantiates
+the same plugin once per cell.  With this cache those paths skip
+re-lowering entirely.
+
+Keying is ``(module.content_hash, engine)``; the hash is the SHA-256 of
+the binary set by :func:`repro.wasm.decoder.decode_module`.  Modules
+built by hand (no hash) still get per-``Module`` memoization via the
+``Code``-object caches in :mod:`repro.wasm.interpreter` /
+:mod:`repro.wasm.threaded` — they just don't dedupe across decodes.
+
+Hit/miss counters are exported through :mod:`repro.obs` as
+``waran_wasm_codecache_{hits,misses}_total{engine=...}`` (visible in
+``repro obs``); the cache itself always works, telemetry-enabled or not.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+
+from repro.obs import OBS
+from repro.wasm.interpreter import prepared_for
+from repro.wasm.module import Module
+from repro.wasm.threaded import threaded_for
+
+_CACHE: dict[tuple[str, str], list] = {}
+_LOCK = Lock()
+
+
+def _lower_all(module: Module, engine: str) -> list:
+    if engine == "legacy":
+        return [prepared_for(code) for code in module.codes]
+    n_imported = module.num_imported_funcs
+    return [
+        threaded_for(module, code, module.func_type(n_imported + i))
+        for i, code in enumerate(module.codes)
+    ]
+
+
+def compiled_bodies(module: Module, engine: str) -> list:
+    """All lowered function bodies of ``module`` for ``engine``, cached.
+
+    Returns a list parallel to ``module.codes``.  Safe to share across
+    instances: compiled bodies capture immediates and handler functions
+    only, never instance state.
+    """
+    content_hash = module.content_hash
+    if content_hash is None:
+        # hand-built module: per-Code memoization only, not counted
+        return _lower_all(module, engine)
+
+    key = (content_hash, engine)
+    with _LOCK:
+        bodies = _CACHE.get(key)
+    if bodies is not None:
+        if OBS.enabled:
+            OBS.registry.counter(
+                "waran_wasm_codecache_hits_total",
+                "compiled-code cache hits (per engine)",
+            ).inc(engine=engine)
+        return bodies
+
+    if OBS.enabled:
+        OBS.registry.counter(
+            "waran_wasm_codecache_misses_total",
+            "compiled-code cache misses (per engine)",
+        ).inc(engine=engine)
+    bodies = _lower_all(module, engine)
+    with _LOCK:
+        _CACHE[key] = bodies
+        if OBS.enabled:
+            OBS.registry.gauge(
+                "waran_wasm_codecache_entries",
+                "modules currently held by the compiled-code cache",
+            ).set(len(_CACHE))
+    return bodies
+
+
+def stats() -> dict[str, float]:
+    """Current hit/miss counters (all engines summed) plus cache size."""
+    hits = OBS.registry.counter("waran_wasm_codecache_hits_total")
+    misses = OBS.registry.counter("waran_wasm_codecache_misses_total")
+    total_hits = sum(hits.value(engine=e) for e in ("legacy", "threaded"))
+    total_misses = sum(misses.value(engine=e) for e in ("legacy", "threaded"))
+    total = total_hits + total_misses
+    return {
+        "entries": float(len(_CACHE)),
+        "hits": total_hits,
+        "misses": total_misses,
+        "hit_rate": (total_hits / total) if total else 0.0,
+    }
+
+
+def clear() -> None:
+    """Drop every cached compilation (tests / memory pressure)."""
+    with _LOCK:
+        _CACHE.clear()

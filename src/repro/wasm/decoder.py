@@ -8,6 +8,7 @@ each section consumes exactly its declared size.
 
 from __future__ import annotations
 
+import hashlib
 import struct
 
 from repro.wasm import leb128, opcodes
@@ -338,4 +339,5 @@ def decode_module(data: bytes) -> Module:
             f"function section declares {num_funcs_declared} functions but "
             f"code section has {len(mod.codes)} bodies"
         )
+    mod.content_hash = hashlib.sha256(data).hexdigest()
     return mod

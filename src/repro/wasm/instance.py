@@ -16,6 +16,7 @@ from repro.wasm import opcodes as op
 from repro.wasm.interpreter import MASK32, MASK64, PreparedCode, execute, f32_round
 from repro.wasm.memory import Memory
 from repro.wasm.module import Module
+from repro.wasm.threaded import ThreadedCode, execute_threaded, resolve_engine
 from repro.wasm.traps import LinkError, Trap
 from repro.wasm.validator import validate_module
 from repro.wasm.wtypes import FuncType, GlobalType, Limits, ValType
@@ -58,11 +59,21 @@ class HostFunc:
 
 
 class ModuleFunc:
-    """A Wasm-defined function: prepared code plus its defining instance."""
+    """A Wasm-defined function: compiled code plus its defining instance.
+
+    ``prepared`` is either a legacy :class:`PreparedCode` or a
+    :class:`~repro.wasm.threaded.ThreadedCode`, depending on the
+    instance's engine; :meth:`Instance.invoke_addr` dispatches on it.
+    """
 
     __slots__ = ("functype", "prepared", "instance")
 
-    def __init__(self, functype: FuncType, prepared: PreparedCode, instance: "Instance"):
+    def __init__(
+        self,
+        functype: FuncType,
+        prepared: "PreparedCode | ThreadedCode",
+        instance: "Instance",
+    ):
         self.functype = functype
         self.prepared = prepared
         self.instance = instance
@@ -126,10 +137,14 @@ class Instance:
         imports: Mapping[str, Mapping[str, Any]] | None = None,
         store: Store | None = None,
         validate: bool = True,
+        engine: str | None = None,
     ):
         if validate:
             validate_module(module)
         self.module = module
+        #: which interpreter compiles and runs this instance's functions:
+        #: explicit arg > ``REPRO_WASM_ENGINE`` env > ``"threaded"``
+        self.engine = resolve_engine(engine)
         self.store = store if store is not None else Store()
         imports = imports or {}
 
@@ -189,11 +204,15 @@ class Instance:
                 self.globals.append(provided)
 
         # --- allocate module-defined entities -------------------------------
+        # compiled bodies come from the process-wide cache: instances of the
+        # same module bytes share one lowering per engine
+        from repro.wasm.codecache import compiled_bodies
+
+        bodies = compiled_bodies(module, self.engine)
         for i, type_index in enumerate(module.funcs):
             functype = module.types[type_index]
-            prepared = PreparedCode(module.codes[i])
             self.func_addrs.append(
-                self.store.alloc_func(ModuleFunc(functype, prepared, self))
+                self.store.alloc_func(ModuleFunc(functype, bodies[i], self))
             )
 
         if module.mems:
@@ -327,10 +346,20 @@ class Instance:
             return [
                 _normalize_arg(v, vt) for v, vt in zip(results, result_types)
             ]
+        prepared = func.prepared
+        if prepared.__class__ is ThreadedCode:
+            return execute_threaded(
+                self.store,
+                func.instance,
+                prepared,
+                args,
+                len(func.functype.results),
+                depth,
+            )
         return execute(
             self.store,
             func.instance,
-            func.prepared,
+            prepared,
             args,
             len(func.functype.results),
             depth,

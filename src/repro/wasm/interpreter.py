@@ -299,22 +299,24 @@ UNOPS: dict[int, Callable[[Any], Any]] = {
     op.I64_EXTEND32_S: lambda a: to_unsigned(to_signed(a & MASK32, 32), 64),
 }
 
-#: loads: opcode -> (size, signed, mask_bits or None-for-float, fmt)
+#: loads: opcode -> (size, signed, result kind).  The kind names the result
+#: type so the unsigned-representation mask is always the *result* width
+#: (an i64.load masked at 32 bits would silently truncate the top half).
 LOADS: dict[int, tuple[int, bool, str]] = {
-    op.I32_LOAD: (4, False, "i"),
-    op.I64_LOAD: (8, False, "i"),
+    op.I32_LOAD: (4, False, "i32"),
+    op.I64_LOAD: (8, False, "i64"),
     op.F32_LOAD: (4, False, "f32"),
     op.F64_LOAD: (8, False, "f64"),
     op.I32_LOAD8_S: (1, True, "i32"),
-    op.I32_LOAD8_U: (1, False, "i"),
+    op.I32_LOAD8_U: (1, False, "i32"),
     op.I32_LOAD16_S: (2, True, "i32"),
-    op.I32_LOAD16_U: (2, False, "i"),
+    op.I32_LOAD16_U: (2, False, "i32"),
     op.I64_LOAD8_S: (1, True, "i64"),
-    op.I64_LOAD8_U: (1, False, "i"),
+    op.I64_LOAD8_U: (1, False, "i64"),
     op.I64_LOAD16_S: (2, True, "i64"),
-    op.I64_LOAD16_U: (2, False, "i"),
+    op.I64_LOAD16_U: (2, False, "i64"),
     op.I64_LOAD32_S: (4, True, "i64"),
-    op.I64_LOAD32_U: (4, False, "i"),
+    op.I64_LOAD32_U: (4, False, "i64"),
 }
 
 #: stores: opcode -> (size, is_float)
@@ -334,8 +336,8 @@ STORES: dict[int, tuple[int, str]] = {
 def build_control_map(body: tuple[Instr, ...]) -> dict[int, tuple[int, int | None]]:
     """Map each block/loop/if pc to ``(end_pc, else_pc)``.
 
-    Computed once per function at instantiation so branches are O(1) at
-    run time.
+    Computed once per function body (see :func:`control_map_for`) so
+    branches are O(1) at run time.
     """
     result: dict[int, tuple[int, int | None]] = {}
     stack: list[tuple[int, int | None]] = []  # (start_pc, else_pc)
@@ -350,6 +352,20 @@ def build_control_map(body: tuple[Instr, ...]) -> dict[int, tuple[int, int | Non
                 start, else_pc = stack.pop()
                 result[start] = (pc, else_pc)
     return result
+
+
+def control_map_for(code: Code) -> dict[int, tuple[int, int | None]]:
+    """Memoized :func:`build_control_map` for a :class:`Code` body.
+
+    Every instantiation of a module used to recompute the map per
+    function; caching it on the (immutable) ``Code`` object makes repeat
+    instantiation - hot swaps, multi-UE coexistence runs - pay it once.
+    """
+    cached = getattr(code, "_control_map", None)
+    if cached is None:
+        cached = build_control_map(code.body)
+        object.__setattr__(code, "_control_map", cached)
+    return cached
 
 
 # ---------------------------------------------------------------------------
@@ -390,10 +406,13 @@ T_NOP = 29
 T_UNREACHABLE = 30
 
 
-def _compile_ops(body: tuple[Instr, ...]) -> list[tuple]:
+def _compile_ops(
+    body: tuple[Instr, ...],
+    control: dict[int, tuple[int, int | None]] | None = None,
+) -> list[tuple]:
     """Lower decoded instructions into tagged dispatch tuples."""
-    control = build_control_map(body)
-    from repro.wasm.wtypes import ValType
+    if control is None:
+        control = build_control_map(body)
 
     ops: list[tuple] = []
     for pc, (opcode, imm) in enumerate(body):
@@ -423,8 +442,7 @@ def _compile_ops(body: tuple[Instr, ...]) -> list[tuple]:
             elif kind == "f64":
                 ops.append((T_LOAD_F64, offset))
             else:
-                bits = 64 if kind == "i64" else 32
-                mask = (1 << bits) - 1
+                mask = MASK64 if kind == "i64" else MASK32
                 ops.append((T_LOAD_I, offset, size, signed, mask))
         elif opcode in STORES:
             size, kind = STORES[opcode]
@@ -562,11 +580,26 @@ class PreparedCode:
 
         self.locals = code.locals
         self.body = code.body
-        self.ops = _compile_ops(code.body)
+        self.ops = _compile_ops(code.body, control_map_for(code))
         self.local_defaults = [
             0 if vt in (ValType.I32, ValType.I64) else 0.0 for vt in code.locals
         ]
         self.max_stack = _static_max_stack(self.ops)
+
+
+def prepared_for(code: Code) -> PreparedCode:
+    """Memoized :class:`PreparedCode` for a ``Code`` body.
+
+    Instances built from the same :class:`~repro.wasm.module.Module`
+    object share one lowering instead of re-lowering per instantiation.
+    (Instances built from *separate decodes of the same bytes* are deduped
+    one level up, by :mod:`repro.wasm.codecache`.)
+    """
+    cached = getattr(code, "_prepared", None)
+    if cached is None:
+        cached = PreparedCode(code)
+        object.__setattr__(code, "_prepared", cached)
+    return cached
 
 
 class _Label:

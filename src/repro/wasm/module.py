@@ -93,6 +93,10 @@ class Module:
     codes: list[Code] = field(default_factory=list)
     datas: list[DataSegment] = field(default_factory=list)
     customs: list[tuple[str, bytes]] = field(default_factory=list)
+    #: SHA-256 hex digest of the binary this module was decoded from;
+    #: ``None`` for hand-built modules.  Keys the process-wide compiled
+    #: code cache (:mod:`repro.wasm.codecache`).
+    content_hash: str | None = None
 
     # ----- derived index spaces (imports come first, then local defs) -----
 

@@ -17,6 +17,8 @@ state, run the plugin, unpack and validate the grants.
 
 from __future__ import annotations
 
+import hashlib
+import os
 import struct
 import time
 from dataclasses import dataclass, field
@@ -39,6 +41,30 @@ class PluginError(RuntimeError):
     def __init__(self, message: str, kind: str = "error"):
         super().__init__(message)
         self.kind = kind  # 'trap' | 'fuel' | 'abi' | 'deadline' | 'load'
+
+
+@dataclass(frozen=True)
+class PluginCheckpoint:
+    """A restorable snapshot of one plugin instance's mutable state.
+
+    Captures everything a deterministic plugin's behaviour depends on -
+    linear memory, mutable globals, and the host's scratch-region
+    bookkeeping - so a quarantined slice can recover by restoring a
+    known-good state into a fresh instance instead of losing it (§6A's
+    recovery story, completing the escalation ladder with a way back).
+    """
+
+    plugin: str
+    generation: int
+    module_sha256: str
+    memory: bytes
+    globals: tuple[tuple[int, int | float], ...]  # (index, value), mutable only
+    scratch_ptr: int | None
+    scratch_cap: int
+
+    @property
+    def memory_pages(self) -> int:
+        return len(self.memory) // 65536
 
 
 @dataclass
@@ -74,6 +100,7 @@ class PluginHost:
         allowed_imports: frozenset[str] | None = None,
         required_exports: dict | None = None,
         engine: str | None = None,
+        chaos=None,
     ):
         self.name = name
         self.limits = limits or HostLimits()
@@ -84,6 +111,13 @@ class PluginHost:
         self._allowed_imports = allowed_imports
         self._required_exports = required_exports
         self._engine = engine
+        #: optional fault injector (``draw_plugin(site)``); explicit arg >
+        #: ``REPRO_CHAOS`` env (selectable like ``REPRO_WASM_ENGINE``) > off
+        if chaos is None and os.environ.get("REPRO_CHAOS"):
+            from repro.chaos.schedule import schedule_from_env
+
+            chaos = schedule_from_env(os.environ["REPRO_CHAOS"])
+        self.chaos = chaos
         self.generation = 0
         self.instance: Instance | None = None
         #: number of times the host had to call the plugin's ``alloc``
@@ -140,6 +174,77 @@ class PluginHost:
             ).inc(plugin=self.name)
         return self.generation
 
+    # ----- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(self) -> PluginCheckpoint:
+        """Snapshot linear memory + mutable globals into a restorable record."""
+        instance = self.instance
+        assert instance is not None
+        memory = bytes(instance.memory.data) if instance.memory is not None else b""
+        mutable_globals = tuple(
+            (index, glob.value)
+            for index, glob in enumerate(instance.globals)
+            if glob.gtype.mutable
+        )
+        snapshot = PluginCheckpoint(
+            plugin=self.name,
+            generation=self.generation,
+            module_sha256=hashlib.sha256(self.wasm_bytes).hexdigest(),
+            memory=memory,
+            globals=mutable_globals,
+            scratch_ptr=self._scratch_ptr,
+            scratch_cap=self._scratch_cap,
+        )
+        if OBS.enabled:
+            OBS.events.emit(
+                "plugin.checkpoint",
+                source=self.name,
+                generation=self.generation,
+                memory_pages=snapshot.memory_pages,
+            )
+            OBS.registry.counter(
+                "waran_plugin_checkpoints_total", "checkpoints taken"
+            ).inc(plugin=self.name)
+        return snapshot
+
+    def restore(self, snapshot: PluginCheckpoint) -> None:
+        """Rebuild a fresh instance, then restore a checkpoint's state into it.
+
+        The new instance starts from the pristine binary (dropping whatever
+        corruption the live one accumulated), after which the checkpoint's
+        linear memory and mutable globals are written back - a restored
+        plugin continues exactly where the snapshot left it.
+        """
+        if snapshot.module_sha256 != hashlib.sha256(self.wasm_bytes).hexdigest():
+            raise PluginError(
+                f"{self.name}: checkpoint was taken from a different binary",
+                "load",
+            )
+        self._load(self.wasm_bytes)
+        instance = self.instance
+        assert instance is not None
+        if snapshot.memory and instance.memory is not None:
+            deficit = snapshot.memory_pages - instance.memory.size_pages
+            if deficit > 0 and instance.memory.grow(deficit) < 0:
+                raise PluginError(
+                    f"{self.name}: cannot grow memory to checkpoint size", "load"
+                )
+            instance.memory.data[: len(snapshot.memory)] = snapshot.memory
+        for index, value in snapshot.globals:
+            instance.globals[index].value = value
+        self._scratch_ptr = snapshot.scratch_ptr
+        self._scratch_cap = snapshot.scratch_cap
+        if OBS.enabled:
+            OBS.events.emit(
+                "plugin.restore",
+                source=self.name,
+                generation=self.generation,
+                memory_pages=snapshot.memory_pages,
+            )
+            OBS.registry.counter(
+                "waran_plugin_restores_total", "checkpoint restores"
+            ).inc(plugin=self.name)
+
     # ----- invocation -----------------------------------------------------------
 
     def call(self, input_bytes: bytes, entry: str = "run") -> PluginCallResult:
@@ -161,6 +266,11 @@ class PluginHost:
         enabled = obs.enabled
         tracer = obs.tracer
         fuel = self.limits.fuel
+        injection = None
+        if self.chaos is not None:
+            injection = self.chaos.draw_plugin(self.name)
+            if injection is not None:
+                fuel = self._apply_chaos_pre(injection, fuel)
         stats: ExecStats | None = None
         if enabled:
             stats = instance.store.stats
@@ -175,6 +285,8 @@ class PluginHost:
         root = tracer.span("plugin.call", plugin=self.name, entry=entry)
         with root:
             try:
+                if injection is not None:
+                    self._raise_injected(injection)
                 with tracer.span("plugin.encode"):
                     # the input staging region is persistent: the plugin's
                     # `alloc` is only consulted on the first call and when
@@ -222,16 +334,55 @@ class PluginHost:
                 f"{self.name}: call took {elapsed_us:.1f}us, deadline "
                 f"{self.limits.deadline_us}us", "deadline",
             )
+        if injection is not None and injection.kind == "deadline" and error is None:
+            # message kept time-free so chaos fault logs stay reproducible
+            error = PluginError(
+                f"{self.name}: chaos: injected deadline blowout", "deadline"
+            )
+            output = None
         if enabled:
             outcome = "ok" if error is None else error.kind
             root.set(outcome=outcome)
             self._record_telemetry(
                 obs, entry, input_bytes, output, outcome, elapsed_us,
-                fuel_used, stats, error, trap_code,
+                fuel_used, stats, error, trap_code, injection,
             )
         if error is not None:
             raise error
         return PluginCallResult(output, elapsed_us, fuel_used)
+
+    # ----- chaos injection (runtime + ABI layers) ----------------------------
+
+    def _apply_chaos_pre(self, injection, fuel: int | None) -> int | None:
+        """Faults applied before the call runs: fuel cuts and bit flips."""
+        kind = injection.kind
+        if kind == "fuel_cut":
+            # a budget too small for any real scheduling pass -> FuelExhausted
+            cut = 1 + injection.a % 500
+            return cut if fuel is None else min(fuel, cut)
+        if kind == "bitflip":
+            memory = self.instance.memory if self.instance is not None else None
+            if memory is not None and len(memory.data):
+                offset = injection.a % len(memory.data)
+                memory.data[offset] ^= 1 << (injection.b % 8)
+        return fuel
+
+    def _raise_injected(self, injection) -> None:
+        """Faults that replace the call entirely: traps and ABI violations."""
+        kind = injection.kind
+        if kind == "trap":
+            raise Trap(f"chaos: injected trap at call #{injection.index}", "chaos")
+        if kind == "abi":
+            raise PluginError(
+                f"{self.name}: chaos: injected ABI violation "
+                f"(bad pointer {injection.a})", "abi",
+            )
+        if kind == "oversize":
+            raise PluginError(
+                f"{self.name}: chaos: injected oversized output "
+                f"({self.limits.max_output_bytes + 1 + injection.a % 4096} bytes "
+                f"exceeds limit)", "abi",
+            )
 
     def _record_telemetry(
         self,
@@ -245,10 +396,23 @@ class PluginHost:
         stats: ExecStats | None,
         error: PluginError | None,
         trap_code: str | None,
+        injection=None,
     ) -> None:
         """Registry + flight recorder + event log for one finished call."""
         reg = obs.registry
         name = self.name
+        if injection is not None:
+            reg.counter(
+                "waran_chaos_injections_total",
+                "chaos faults injected into plugin calls",
+            ).inc(plugin=name, kind=injection.kind)
+            obs.events.emit(
+                "chaos.inject",
+                source=name,
+                fault_kind=injection.kind,
+                index=injection.index,
+                outcome=outcome,
+            )
         reg.counter(
             "waran_plugin_calls_total", "plugin invocations by outcome"
         ).inc(plugin=name, outcome=outcome)
@@ -279,6 +443,9 @@ class PluginHost:
             reg.gauge(
                 "waran_plugin_memory_pages", "linear memory size (64KiB pages)"
             ).set(self.instance.memory.size_pages, plugin=name)
+        chaos_attrs = (
+            {"chaos": injection.to_json()} if injection is not None else {}
+        )
         obs.flight.record(
             plugin=name,
             entry=entry,
@@ -290,6 +457,7 @@ class PluginHost:
             fuel_used=fuel_used,
             instructions=fuel_used,
             error=str(error) if error is not None else "",
+            **chaos_attrs,
         )
         if error is not None:
             fields = {"entry": entry, "detail": str(error)}
@@ -306,6 +474,11 @@ class PluginHost:
         any linear-memory state the live instance has accumulated since.
         With ``fresh=False`` the live instance is used (useful to probe
         state-dependent behaviour, at the cost of determinism).
+
+        If the captured call carried a chaos injection (``attrs["chaos"]``)
+        the fresh replay re-applies that exact injection, so a
+        chaos-provoked trap or fuel cut reproduces its trap code and fuel
+        count deterministically.
         """
         if record.generation != self.generation:
             if OBS.enabled:
@@ -317,6 +490,12 @@ class PluginHost:
                 )
         if not fresh:
             return self.call(record.input_bytes, entry=record.entry)
+        from repro.chaos.schedule import ChaosInjection, OneShotChaos
+
+        chaos_doc = record.attrs.get("chaos")
+        chaos = OneShotChaos(
+            ChaosInjection.from_json(chaos_doc) if chaos_doc is not None else None
+        )
         clone = PluginHost(
             self.wasm_bytes,
             name=f"{self.name}@replay",
@@ -326,6 +505,7 @@ class PluginHost:
             log_sink=self._log_sink,
             output_record_bytes=self.output_record_bytes,
             engine=self._engine,
+            chaos=chaos,
         )
         return clone.call(record.input_bytes, entry=record.entry)
 

@@ -9,6 +9,7 @@ Usage (``python -m repro <command>``)::
     python -m repro fig5a [--duration 10]              # run an experiment
     python -m repro fig5b | fig5c | fig5d | safety
     python -m repro obs [--format json|prom]           # telemetry demo dump
+    python -m repro chaos --seed 42 --slots 10000      # fault-injection soak
 """
 
 from __future__ import annotations
@@ -204,6 +205,31 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Run the seeded chaos soak and report its invariants."""
+    from repro.chaos import ChaosRunner
+
+    runner = ChaosRunner(seed=args.seed, slots=args.slots, engine=args.engine)
+    report = runner.run()
+    print(report.summary())
+    if args.verify_determinism:
+        again = ChaosRunner(
+            seed=args.seed, slots=args.slots, engine=args.engine
+        ).run()
+        same = again.log == report.log
+        print(f"determinism: {'byte-identical' if same else 'DIVERGED'}")
+        if not same:
+            return 1
+    if args.log:
+        with open(args.log, "w", encoding="utf-8") as f:
+            f.write(report.log)
+        print(f"fault/event log -> {args.log} "
+              f"({len(report.log.splitlines())} lines)")
+    for violation in report.violations:
+        print(f"violation: {violation}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_safety(args) -> int:
     from repro.experiments import run_safety_table
 
@@ -266,6 +292,33 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("safety", help="memory-safety comparison table")
     p.set_defaults(fn=_cmd_safety)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection soak of the full gNB+RIC system",
+        description="Runs the ChaosRunner soak harness: a gNB with three "
+        "plugin-scheduled slices, an E2 node agent and a near-RT RIC under "
+        "a seeded schedule of plugin, ABI and transport faults, asserting "
+        "the §6A invariants (host never raises, every non-disconnected "
+        "slice served every slot, bounded recovery after release).",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--slots", type=int, default=10_000)
+    p.add_argument(
+        "--engine",
+        choices=["legacy", "threaded"],
+        default=None,
+        help="Wasm engine (default: REPRO_WASM_ENGINE or threaded)",
+    )
+    p.add_argument(
+        "--log", metavar="PATH", help="write the fault/event log to a file"
+    )
+    p.add_argument(
+        "--verify-determinism",
+        action="store_true",
+        help="run twice and require byte-identical fault/event logs",
+    )
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser(
         "obs",

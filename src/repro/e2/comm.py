@@ -20,6 +20,7 @@ from repro.codecs.base import CodecError
 from repro.e2 import messages
 from repro.e2.vendors import VendorProfile
 from repro.netio.bus import Endpoint
+from repro.obs import OBS
 
 
 class CommChannel:
@@ -30,7 +31,14 @@ class CommChannel:
         self.profile = profile
         self.sent = 0
         self.received = 0
+        #: payloads the host decoder could not parse (dialect mismatch,
+        #: corruption); guard verdicts are counted separately - see
+        #: :attr:`guard_rejections`
         self.decode_failures = 0
+        #: payloads the sandboxed guard rejected before decoding (hostile
+        #: or structurally unsafe bytes) - a different operational signal
+        #: than a codec failure, so never folded into ``decode_failures``
+        self.guard_rejections = 0
 
     @property
     def name(self) -> str:
@@ -171,7 +179,12 @@ class GuardedChannel(CommChannel):
                 return out
             source, payload = item
             if not self.guard.check(payload):
-                self.decode_failures += 1
+                self.guard_rejections += 1
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "waran_e2_guard_rejections_total",
+                        "inbound payloads rejected by the sandboxed guard",
+                    ).inc(channel=self.name)
                 continue
             try:
                 message = self.profile.decode(payload)

@@ -13,9 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.chaos.supervisor import CircuitOpenError, Supervisor
 from repro.e2 import messages
 from repro.e2.comm import CommChannel
 from repro.gnb.host import GnbHost
+from repro.netio.bus import NetworkError
+from repro.obs import OBS
 from repro.sched.inter import TargetRateInterSlice
 
 
@@ -31,15 +34,49 @@ class _Subscription:
 class E2NodeAgent:
     """One gNB's E2 agent, speaking some vendor dialect over a channel."""
 
-    def __init__(self, gnb: GnbHost, channel: CommChannel, node_id: str):
+    def __init__(
+        self,
+        gnb: GnbHost,
+        channel: CommChannel,
+        node_id: str,
+        supervisor: Supervisor | None = None,
+    ):
         self.gnb = gnb
         self.channel = channel
         self.node_id = node_id
+        #: optional supervisor: outbound sends (responses, acks, KPM
+        #: indications) get retry+backoff and a per-RIC circuit breaker
+        self.supervisor = supervisor
+        self.sends_abandoned = 0
         self.subscriptions: dict[int, _Subscription] = {}
         self.tx_power: int | None = None
         self.cqi_table: int = 1
         self.controls_applied: list[dict[str, Any]] = []
         self._last_slice_bytes: dict[int, int] = {}
+
+    def _send(self, dest: str, message: dict[str, Any]) -> bool:
+        """Supervised send: a dead RIC link must not crash the node agent."""
+        if self.supervisor is None:
+            self.channel.send(dest, message)
+            return True
+        try:
+            self.supervisor.call(
+                f"ric:{dest}",
+                self.channel.send,
+                dest,
+                message,
+                retry_on=(NetworkError, OSError),
+            )
+            return True
+        except (CircuitOpenError, NetworkError, OSError):
+            self.sends_abandoned += 1
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "waran_e2node_sends_abandoned_total",
+                    "E2-node sends dropped after retries were exhausted or "
+                    "the RIC breaker was open",
+                ).inc(node=self.node_id, dest=dest)
+            return False
 
     # ----- control-plane message handling ------------------------------------
 
@@ -47,7 +84,7 @@ class E2NodeAgent:
         for source, message in self.channel.poll():
             msg_type = message["msg"]
             if msg_type == messages.MSG_SETUP_REQUEST:
-                self.channel.send(
+                self._send(
                     source, messages.setup_response(self.node_id, accepted=True)
                 )
             elif msg_type == messages.MSG_SUBSCRIPTION_REQUEST:
@@ -58,13 +95,13 @@ class E2NodeAgent:
                     message["period_slots"],
                 )
                 self.subscriptions[sub.subscription_id] = sub
-                self.channel.send(
+                self._send(
                     source,
                     messages.subscription_response(sub.subscription_id, True),
                 )
             elif msg_type == messages.MSG_CONTROL_REQUEST:
                 success, detail = self._apply_control(message)
-                self.channel.send(
+                self._send(
                     source,
                     messages.control_ack(message["request_id"], success, detail),
                 )
@@ -104,6 +141,8 @@ class E2NodeAgent:
 
     def step(self) -> None:
         """Run once per slot, after the gNB's own step."""
+        if self.supervisor is not None:
+            self.supervisor.tick()
         self.handle_messages()
         slot = self.gnb.slot
         for sub in self.subscriptions.values():
@@ -113,7 +152,7 @@ class E2NodeAgent:
             )
             if due:
                 sub.last_report_slot = slot
-                self.channel.send(sub.subscriber, self._build_indication(sub, slot))
+                self._send(sub.subscriber, self._build_indication(sub, slot))
 
     def _build_indication(self, sub: _Subscription, slot: int) -> dict[str, Any]:
         ue_reports = []

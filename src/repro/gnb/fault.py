@@ -8,9 +8,16 @@ escalation ladder:
    invalid grants) falls back to the slice's default native scheduler for
    that slot - the slice's UEs never lose service;
 2. ``quarantine_after`` *consecutive* faults park the plugin: the default
-   scheduler serves the slice until an operator swaps a fixed plugin in;
+   scheduler serves the slice until an operator swaps a fixed plugin in
+   (or restores a known-good checkpoint and releases it);
 3. ``disconnect_after`` consecutive faults (if configured) drop the slice
    entirely - the contractual remedy against a hostile MVNO.
+
+A released slice is on probation: :meth:`FaultPolicy.release` does *not*
+reset the consecutive-fault counter (only a successful call does), so a
+slice that faults straight after release keeps climbing the ladder toward
+``disconnect_after`` instead of oscillating forever between quarantine and
+release.
 """
 
 from __future__ import annotations
@@ -46,8 +53,25 @@ class FaultPolicy:
     disconnected: set[int] = field(default_factory=set)
     events: list[FaultEvent] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        if self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        if (
+            self.disconnect_after is not None
+            and self.disconnect_after <= self.quarantine_after
+        ):
+            raise ValueError(
+                f"disconnect_after ({self.disconnect_after}) must exceed "
+                f"quarantine_after ({self.quarantine_after}): disconnection "
+                "is the escalation beyond quarantine, not a shortcut past it"
+            )
+
     def record_fault(self, slot: int, slice_id: int, kind: str, detail: str) -> FaultAction:
         """Register a plugin fault; returns the action the gNB must take."""
+        if slice_id in self.disconnected:
+            # a disconnected slice is already past the end of the ladder:
+            # don't keep escalating or appending events for it
+            return FaultAction.DISCONNECT
         count = self.consecutive.get(slice_id, 0) + 1
         self.consecutive[slice_id] = count
         if self.disconnect_after is not None and count >= self.disconnect_after:
@@ -84,8 +108,13 @@ class FaultPolicy:
         return slice_id in self.disconnected
 
     def release(self, slice_id: int) -> None:
-        """Operator action: a fixed plugin was swapped in; trust it again."""
+        """Operator action: a fixed plugin (or checkpoint) went in; try again.
+
+        The consecutive-fault counter deliberately survives release: the
+        released slice is on probation, and another fault before any
+        success continues the climb toward ``disconnect_after``.  A single
+        successful call (:meth:`record_success`) clears it.
+        """
         self.quarantined.discard(slice_id)
-        self.consecutive[slice_id] = 0
         if OBS.enabled:
             OBS.events.emit("gnb.release", source=f"slice:{slice_id}")

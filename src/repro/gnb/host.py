@@ -68,6 +68,12 @@ class SliceRuntime:
         self.exec_time = Accumulator()
         self.exec_p50 = StreamingQuantile(0.5)
         self.exec_p99 = StreamingQuantile(0.99)
+        #: last known-good plugin state (taken on the success path when the
+        #: gNB's ``checkpoint_every`` cadence is enabled)
+        self.last_checkpoint = None
+        self.successes = 0
+        self.checkpoints_taken = 0
+        self.restores = 0
 
     def use_plugin(self, plugin: SchedulerPlugin) -> None:
         self.plugin = plugin
@@ -102,11 +108,16 @@ class GnbHost:
         fault_policy: FaultPolicy | None = None,
         pf_time_constant_slots: int = 100,
         error_model=None,
+        checkpoint_every: int = 0,
     ):
         self.carrier = carrier or CarrierConfig()
         self.inter_slice = inter_slice
         self.fault_policy = fault_policy or FaultPolicy()
         self.pf_time_constant_slots = pf_time_constant_slots
+        #: take a plugin checkpoint every N successful scheduling calls
+        #: (0 disables; the chaos runner turns this on so a quarantined
+        #: slice can recover by restoring known-good state)
+        self.checkpoint_every = checkpoint_every
         #: optional :class:`repro.phy.bler.LinkErrorModel`; errored TBs
         #: deliver nothing and the bytes stay queued (HARQ-by-RLC retry)
         self.error_model = error_model
@@ -255,6 +266,11 @@ class GnbHost:
                     return []
                 return runtime.default.schedule(prbs, ues, self.slot)
             self.fault_policy.record_success(sid)
+            if self.checkpoint_every:
+                runtime.successes += 1
+                if runtime.successes % self.checkpoint_every == 0:
+                    runtime.last_checkpoint = runtime.plugin.host.checkpoint()
+                    runtime.checkpoints_taken += 1
             runtime.exec_time.add(call.elapsed_us)
             runtime.exec_p50.add(call.elapsed_us)
             runtime.exec_p99.add(call.elapsed_us)
@@ -282,6 +298,30 @@ class GnbHost:
         grants = scheduler.schedule(prbs, ues, self.slot)
         validate_grants(grants, prbs, ues)  # natives must obey the same contract
         return grants
+
+    # ----- recovery --------------------------------------------------------------
+
+    def release_slice(self, slice_id: int, wasm_bytes: bytes | None = None) -> bool:
+        """Recover a quarantined slice; returns True if state was restored.
+
+        Three recovery paths, strongest first: swap in a fixed binary if
+        one is provided; otherwise restore the slice's last known-good
+        checkpoint into a fresh instance (keeping the plugin's accumulated
+        state while shedding whatever corruption got it quarantined);
+        otherwise just release and let the existing instance try again.
+        """
+        runtime = self.slices[slice_id]
+        restored = False
+        if runtime.plugin is not None:
+            if wasm_bytes is not None:
+                runtime.plugin.swap(wasm_bytes)
+                runtime.last_checkpoint = None
+            elif runtime.last_checkpoint is not None:
+                runtime.plugin.host.restore(runtime.last_checkpoint)
+                runtime.restores += 1
+                restored = True
+        self.fault_policy.release(slice_id)
+        return restored
 
     # ----- reporting -------------------------------------------------------------
 

@@ -8,7 +8,9 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.abi.host import HostLimits, PluginError, PluginHost
+from repro.chaos.supervisor import CircuitOpenError, Supervisor
 from repro.e2 import messages
+from repro.netio.bus import NetworkError
 from repro.obs import OBS
 from repro.e2.comm import CommChannel
 from repro.ric import wire
@@ -60,6 +62,7 @@ class NearRtRic:
         name: str = "ric",
         a1_endpoint=None,
         kpi_publisher=None,
+        supervisor: Supervisor | None = None,
     ):
         from repro.ric.a1 import A1Endpoint, A1PolicyStore
 
@@ -69,6 +72,12 @@ class NearRtRic:
         self.a1_policies = A1PolicyStore()
         #: optional PubSubClient; slice KPIs are published for the SMO/rApps
         self.kpi_publisher = kpi_publisher
+        #: optional :class:`repro.chaos.supervisor.Supervisor`: E2 sends get
+        #: retry+backoff, every xApp gets a circuit breaker, and a flaky
+        #: transport or plugin can no longer wedge the control loop
+        self.supervisor = supervisor
+        self.sends_abandoned = 0
+        self.xapp_dispatches_skipped = 0
         self.xapps: dict[str, XappRuntime] = {}
         self._topics: dict[int, deque[int]] = {}
         self._request_ids = itertools.count(1)
@@ -110,6 +119,8 @@ class NearRtRic:
         wasm_bytes: bytes,
         msg_types: tuple[int, ...],
         fuel: int | None = 5_000_000,
+        engine: str | None = None,
+        chaos=None,
     ) -> XappRuntime:
         """Deploy an xApp plugin (sanitized against the xApp policy)."""
         if name in self.xapps:
@@ -127,6 +138,8 @@ class NearRtRic:
             required_exports=XAPP_REQUIRED_EXPORTS,
             extra_hostfuncs=self._make_hostfuncs(name),
             log_sink=log_sink,
+            engine=engine,
+            chaos=chaos,
         )
         runtime = XappRuntime(name, host, tuple(msg_types))
         self.xapps[name] = runtime
@@ -144,11 +157,40 @@ class NearRtRic:
 
     # ----- E2 session management -----------------------------------------------
 
+    def _send(self, dest: str, message: dict[str, Any]) -> bool:
+        """Send toward ``dest``, supervised when a supervisor is attached.
+
+        Returns False (instead of raising) when the peer's breaker is open
+        or every retry failed: losing one control message must not take the
+        whole RIC loop down with it.
+        """
+        if self.supervisor is None:
+            self.channel.send(dest, message)
+            return True
+        try:
+            self.supervisor.call(
+                f"e2:{dest}",
+                self.channel.send,
+                dest,
+                message,
+                retry_on=(NetworkError, OSError),
+            )
+            return True
+        except (CircuitOpenError, NetworkError, OSError):
+            self.sends_abandoned += 1
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "waran_ric_sends_abandoned_total",
+                    "E2 sends dropped after retries were exhausted or the "
+                    "peer breaker was open",
+                ).inc(dest=dest)
+            return False
+
     def connect(self, node_dest: str, period_slots: int = 100) -> int:
         """E2 setup + KPM subscription toward one node endpoint."""
-        self.channel.send(node_dest, messages.setup_request(self.name, []))
+        self._send(node_dest, messages.setup_request(self.name, []))
         subscription_id = next(self._subscription_ids)
-        self.channel.send(
+        self._send(
             node_dest,
             messages.subscription_request(
                 subscription_id, messages.SM_KPM, period_slots
@@ -162,6 +204,8 @@ class NearRtRic:
     def step(self) -> list[wire.XappAction]:
         """Process incoming messages; returns all xApp actions executed."""
         executed: list[wire.XappAction] = []
+        if self.supervisor is not None:
+            self.supervisor.tick()
         if self.a1 is not None:
             for source, message in self.a1.poll():
                 ack = self.a1_policies.handle(message)
@@ -205,12 +249,35 @@ class NearRtRic:
             for msg_type in runtime.msg_types:
                 records = inputs.get(msg_type, [])
                 payload = wire.pack_xapp_input(msg_type, records)
+
+                def dispatch(
+                    _host=runtime.host, _payload=payload
+                ) -> list[wire.XappAction]:
+                    result = _host.call(_payload, entry="on_indication")
+                    return wire.unpack_xapp_actions(result.output)
+
                 with OBS.tracer.span(
                     "ric.xapp.dispatch", xapp=runtime.name, msg_type=msg_type
                 ):
                     try:
-                        result = runtime.host.call(payload, entry="on_indication")
-                        actions = wire.unpack_xapp_actions(result.output)
+                        if self.supervisor is not None:
+                            actions = self.supervisor.call(
+                                f"xapp:{runtime.name}",
+                                dispatch,
+                                retry_on=(PluginError, wire.XappWireError),
+                            )
+                        else:
+                            actions = dispatch()
+                    except CircuitOpenError:
+                        # the xApp's breaker is open: skip it until the
+                        # supervisor lets a half-open probe through
+                        self.xapp_dispatches_skipped += 1
+                        if OBS.enabled:
+                            OBS.registry.counter(
+                                "waran_ric_xapp_skipped_total",
+                                "xApp dispatches skipped by an open breaker",
+                            ).inc(xapp=runtime.name)
+                        continue
                     except (PluginError, wire.XappWireError) as exc:
                         runtime.faults += 1
                         if OBS.enabled:
@@ -257,5 +324,5 @@ class NearRtRic:
             )
         else:
             return  # unknown action kinds are dropped (defensive)
-        self.channel.send(node_dest, control)
-        self.controls_sent.append(control)
+        if self._send(node_dest, control):
+            self.controls_sent.append(control)

@@ -1,0 +1,167 @@
+"""Checkpoint/restore tests: snapshotting plugin state and recovering it.
+
+The acceptance bar: a restored instance produces identical outputs, fuel
+counts and ExecStats to an uninterrupted one, for every scheduler plugin
+in the differential suite, under both engines - plus the gNB wiring that
+uses checkpoints on the quarantine/release path.
+"""
+
+import pytest
+
+from repro import obs
+from repro.abi import SchedulerPlugin, wire
+from repro.abi.host import PluginError, PluginHost
+from repro.channel import FixedMcsChannel
+from repro.experiments.fig5d import make_ues
+from repro.gnb import FaultPolicy, GnbHost, SliceRuntime, UeContext
+from repro.plugins import SCHEDULER_PLUGINS, plugin_wasm
+from repro.traffic import FullBufferSource
+
+ENGINES = ["legacy", "threaded"]
+
+
+def observe(host: PluginHost, slots) -> list[tuple]:
+    """Drive the host and capture everything observable per call."""
+    out = []
+    for slot in slots:
+        payload = wire.pack_sched_input(slot, 20, make_ues(3))
+        result = host.call(payload)
+        stats = host.instance.store.stats
+        out.append(
+            (
+                result.output,
+                result.fuel_used,
+                stats.frames,
+                stats.max_call_depth,
+                stats.max_value_stack,
+            )
+        )
+    return out
+
+
+class TestRoundTrip:
+    @pytest.fixture(autouse=True)
+    def telemetry(self):
+        # enabled so ExecStats are collected for every call
+        obs.enable()
+        obs.reset()
+        yield
+        obs.reset()
+        obs.disable()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("name", SCHEDULER_PLUGINS)
+    def test_restored_matches_uninterrupted(self, name, engine):
+        wasm = plugin_wasm(name)
+        interrupted = PluginHost(wasm, name=name, engine=engine)
+        control = PluginHost(wasm, name=name, engine=engine)
+
+        # identical warm-up accumulates identical internal state (PF
+        # averages, RR cursors...)
+        assert observe(interrupted, range(10)) == observe(control, range(10))
+
+        snapshot = interrupted.checkpoint()
+        assert snapshot.plugin == name
+        assert snapshot.memory_pages >= 1
+
+        # interrupted diverges: different slots/loads mutate its state
+        observe(interrupted, range(100, 120))
+        interrupted.restore(snapshot)
+
+        # after restore both hosts continue from the same state: outputs,
+        # fuel and ExecStats must be identical call for call
+        assert observe(interrupted, range(10, 30)) == observe(control, range(10, 30))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_checkpoint_survives_divergent_scratch_growth(self, engine):
+        wasm = plugin_wasm("pf")
+        interrupted = PluginHost(wasm, name="pf", engine=engine)
+        control = PluginHost(wasm, name="pf", engine=engine)
+        warmup = [wire.pack_sched_input(s, 20, make_ues(2)) for s in range(5)]
+        for payload in warmup:
+            interrupted.call(payload)
+            control.call(payload)
+        snapshot = interrupted.checkpoint()
+        # a much larger input grows the scratch region past the snapshot
+        interrupted.call(wire.pack_sched_input(50, 50, make_ues(40)))
+        interrupted.restore(snapshot)
+        follow = wire.pack_sched_input(5, 20, make_ues(2))
+        assert interrupted.call(follow).output == control.call(follow).output
+
+
+class TestRestoreGuards:
+    def test_restore_rejects_checkpoint_from_different_binary(self):
+        host_rr = PluginHost(plugin_wasm("rr"), name="rr")
+        host_pf = PluginHost(plugin_wasm("pf"), name="pf")
+        snapshot = host_rr.checkpoint()
+        with pytest.raises(PluginError, match="different binary") as excinfo:
+            host_pf.restore(snapshot)
+        assert excinfo.value.kind == "load"
+
+    def test_restore_drops_live_corruption(self):
+        """Restore rebuilds from the pristine binary, then writes state back."""
+        host = PluginHost(plugin_wasm("rr"), name="rr")
+        control = PluginHost(plugin_wasm("rr"), name="rr")
+        payload = wire.pack_sched_input(0, 20, make_ues(3))
+        assert host.call(payload).output == control.call(payload).output
+        snapshot = host.checkpoint()
+        expected = control.call(payload).output  # the next rr rotation
+        # vandalize live linear memory wholesale
+        host.instance.memory.data[:] = bytes(len(host.instance.memory.data))
+        host.restore(snapshot)
+        assert host.call(payload).output == expected
+
+
+class TestGnbRecoveryPath:
+    def make_gnb(self, plugin_name="rr", checkpoint_every=1):
+        # no inter-slice scheduler: the single slice gets every PRB every
+        # slot, so the plugin is invoked exactly once per slot
+        gnb = GnbHost(
+            fault_policy=FaultPolicy(quarantine_after=2),
+            checkpoint_every=checkpoint_every,
+        )
+        runtime = gnb.add_slice(SliceRuntime(1, "mvno"))
+        runtime.use_plugin(
+            SchedulerPlugin.load(plugin_wasm(plugin_name), name=plugin_name)
+        )
+        gnb.attach_ue(UeContext(1, 1, FixedMcsChannel(28), FullBufferSource()))
+        return gnb
+
+    def test_success_path_takes_checkpoints(self):
+        gnb = self.make_gnb(checkpoint_every=5)
+        gnb.run(12)
+        runtime = gnb.slices[1]
+        assert runtime.checkpoints_taken == 2
+        assert runtime.last_checkpoint is not None
+
+    def test_release_restores_last_checkpoint(self):
+        gnb = self.make_gnb(checkpoint_every=1)
+        gnb.run(5)
+        runtime = gnb.slices[1]
+        assert runtime.last_checkpoint is not None
+        gnb.fault_policy.quarantined.add(1)
+
+        assert gnb.release_slice(1) is True
+        assert runtime.restores == 1
+        assert not gnb.fault_policy.is_quarantined(1)
+        gnb.run(5)  # the restored plugin keeps scheduling
+        assert gnb.total_delivered_bytes > 0
+
+    def test_release_with_new_binary_swaps_instead(self):
+        gnb = self.make_gnb(checkpoint_every=1)
+        gnb.run(3)
+        runtime = gnb.slices[1]
+        gnb.fault_policy.quarantined.add(1)
+
+        assert gnb.release_slice(1, wasm_bytes=plugin_wasm("pf")) is False
+        assert runtime.restores == 0
+        assert runtime.last_checkpoint is None  # stale state was discarded
+        gnb.run(3)
+        assert not gnb.fault_policy.events
+
+    def test_release_without_checkpoint_just_releases(self):
+        gnb = self.make_gnb(checkpoint_every=0)
+        gnb.run(3)
+        gnb.fault_policy.quarantined.add(1)
+        assert gnb.release_slice(1) is False
+        assert not gnb.fault_policy.is_quarantined(1)

@@ -1,0 +1,98 @@
+"""FaultPolicy lifecycle tests: the full §6A escalation ladder.
+
+Covers fallback → quarantine → release → re-fault → disconnect, the
+``disconnect_after=None`` configuration, success-resets-counter, the
+no-op behaviour for already-disconnected slices, and constructor
+validation - directly, without going through the gNB host.
+"""
+
+import pytest
+
+from repro.gnb.fault import FaultAction, FaultPolicy
+
+
+class TestValidation:
+    def test_quarantine_after_must_be_positive(self):
+        with pytest.raises(ValueError, match="quarantine_after"):
+            FaultPolicy(quarantine_after=0)
+
+    def test_disconnect_must_exceed_quarantine(self):
+        with pytest.raises(ValueError, match="disconnect_after"):
+            FaultPolicy(quarantine_after=3, disconnect_after=3)
+        with pytest.raises(ValueError, match="disconnect_after"):
+            FaultPolicy(quarantine_after=3, disconnect_after=2)
+
+    def test_valid_configurations(self):
+        FaultPolicy(quarantine_after=1)
+        FaultPolicy(quarantine_after=3, disconnect_after=4)
+        FaultPolicy(quarantine_after=3, disconnect_after=None)
+
+
+class TestEscalationLadder:
+    def test_full_lifecycle_to_disconnect(self):
+        """fallback -> quarantine -> release -> re-fault -> disconnect."""
+        policy = FaultPolicy(quarantine_after=2, disconnect_after=4)
+
+        assert policy.record_fault(0, 1, "trap", "t") == FaultAction.FALLBACK
+        assert policy.record_fault(1, 1, "trap", "t") == FaultAction.QUARANTINE
+        assert policy.is_quarantined(1)
+
+        # the operator releases; the slice is on probation - the counter
+        # survives so a re-fault keeps climbing instead of oscillating
+        policy.release(1)
+        assert not policy.is_quarantined(1)
+        assert policy.consecutive[1] == 2
+
+        assert policy.record_fault(10, 1, "fuel", "f") == FaultAction.QUARANTINE
+        policy.release(1)
+        assert policy.record_fault(20, 1, "abi", "a") == FaultAction.DISCONNECT
+        assert policy.is_disconnected(1)
+
+    def test_success_resets_counter(self):
+        policy = FaultPolicy(quarantine_after=3)
+        policy.record_fault(0, 1, "trap", "t")
+        policy.record_fault(1, 1, "trap", "t")
+        policy.record_success(1)
+        # the streak restarts: two more faults still only fall back
+        assert policy.record_fault(2, 1, "trap", "t") == FaultAction.FALLBACK
+        assert policy.record_fault(3, 1, "trap", "t") == FaultAction.FALLBACK
+        assert policy.record_fault(4, 1, "trap", "t") == FaultAction.QUARANTINE
+
+    def test_success_after_release_clears_probation(self):
+        policy = FaultPolicy(quarantine_after=2, disconnect_after=4)
+        policy.record_fault(0, 1, "trap", "t")
+        policy.record_fault(1, 1, "trap", "t")
+        policy.release(1)
+        policy.record_success(1)
+        assert policy.consecutive[1] == 0
+        # the ladder restarts from the bottom
+        assert policy.record_fault(5, 1, "trap", "t") == FaultAction.FALLBACK
+
+    def test_disconnect_after_none_never_disconnects(self):
+        policy = FaultPolicy(quarantine_after=2, disconnect_after=None)
+        for slot in range(50):
+            action = policy.record_fault(slot, 1, "trap", "t")
+            assert action != FaultAction.DISCONNECT
+        assert policy.is_quarantined(1)
+        assert not policy.is_disconnected(1)
+
+    def test_slices_are_independent(self):
+        policy = FaultPolicy(quarantine_after=2)
+        policy.record_fault(0, 1, "trap", "t")
+        assert policy.record_fault(0, 2, "trap", "t") == FaultAction.FALLBACK
+        assert policy.record_fault(1, 1, "trap", "t") == FaultAction.QUARANTINE
+        assert not policy.is_quarantined(2)
+
+
+class TestDisconnectedIsTerminal:
+    def test_record_fault_on_disconnected_slice_is_noop(self):
+        policy = FaultPolicy(quarantine_after=1, disconnect_after=2)
+        policy.record_fault(0, 1, "trap", "t")
+        assert policy.record_fault(1, 1, "trap", "t") == FaultAction.DISCONNECT
+        events_before = len(policy.events)
+        count_before = policy.consecutive[1]
+
+        # past the end of the ladder: no escalation, no new events
+        assert policy.record_fault(2, 1, "trap", "t") == FaultAction.DISCONNECT
+        assert len(policy.events) == events_before
+        assert policy.consecutive[1] == count_before

@@ -92,7 +92,32 @@ class TestGuardedChannel:
         got = receiver.poll()
         assert len(got) == 2
         assert receiver.guard.rejected == 1
-        assert receiver.decode_failures == 1
+        # a guard verdict is not a codec failure: operators must be able to
+        # tell a hostile payload from a dialect mismatch
+        assert receiver.guard_rejections == 1
+        assert receiver.decode_failures == 0
+
+    def test_guard_rejection_metric(self):
+        from repro import obs
+
+        obs.enable()
+        obs.reset()
+        try:
+            net = InProcNetwork()
+            vendor = vendors.vendor_b()
+            attacker = net.endpoint("attacker")
+            receiver = GuardedChannel(net.endpoint("gnb"), vendor)
+            attacker.send("gnb", b"\x80\x80\x80")
+            receiver.poll()
+            assert (
+                obs.OBS.registry.counter(
+                    "waran_e2_guard_rejections_total"
+                ).value(channel="gnb")
+                == 1
+            )
+        finally:
+            obs.reset()
+            obs.disable()
 
     def test_guard_survives_sustained_attack(self):
         net = InProcNetwork()

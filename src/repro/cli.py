@@ -9,7 +9,9 @@ Usage (``python -m repro <command>``)::
     python -m repro fig5a [--duration 10]              # run an experiment
     python -m repro fig5b | fig5c | fig5d | safety
     python -m repro obs [--format json|prom]           # telemetry demo dump
+    python -m repro obs merge w0.json w1.json          # merge metric snapshots
     python -m repro chaos --seed 42 --slots 10000      # fault-injection soak
+    python -m repro scale --workers 4 --cells 8        # multi-process scale-out
 """
 
 from __future__ import annotations
@@ -205,6 +207,101 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_obs_merge(args) -> int:
+    """Merge per-process metrics snapshots into one exposition."""
+    import json
+
+    from repro.obs import MergeError, merge_snapshots, snapshot_to_prometheus
+
+    docs = []
+    for path in args.snapshots:
+        try:
+            with open(path, encoding="utf-8") as f:
+                docs.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 1
+    try:
+        merged = merge_snapshots(docs)
+    except MergeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "prom":
+        text = snapshot_to_prometheus(merged)
+    else:
+        text = json.dumps(merged, indent=2) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"{len(docs)} snapshots -> {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_scale(args) -> int:
+    """Run the multi-process cluster (or a worker-count sweep)."""
+    import json
+
+    from repro.cluster import ClusterError, ClusterSpec, run_cluster, run_sweep
+
+    spec = ClusterSpec(
+        workers=args.workers,
+        cells=args.cells,
+        ues=args.ues,
+        slots=args.slots,
+        seed=args.seed,
+        engine=args.engine,
+        chaos=args.chaos,
+        mode=args.mode,
+        timeout_s=args.timeout,
+    )
+    try:
+        spec.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    try:
+        if args.sweep:
+            workers = sorted({int(w) for w in args.sweep.split(",")})
+            print(f"{'workers':>7s} {'slots/s':>9s} {'cell-slots/s':>12s} "
+                  f"{'p50 us':>8s} {'p99 us':>8s}  digest")
+            reports = run_sweep(spec, workers=workers)
+            for report in reports:
+                print(f"{report.spec.workers:7d} {report.slot_rate:9.1f} "
+                      f"{report.cell_slot_rate:12.1f} "
+                      f"{report.p50_slot_us:8.0f} {report.p99_slot_us:8.0f}  "
+                      f"{report.bytes_digest[:12]}")
+            print("aggregate digests invariant across worker counts")
+            report = reports[-1]
+        else:
+            report = run_cluster(spec)
+            print(report.summary())
+            if args.verify_determinism:
+                again = run_cluster(spec)
+                same = (
+                    again.bytes_digest == report.bytes_digest
+                    and again.fault_digest == report.fault_digest
+                )
+                print("determinism: "
+                      f"{'byte-identical' if same else 'DIVERGED'}")
+                if not same:
+                    return 1
+    except ClusterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report.to_json(), f, indent=2)
+        print(f"report -> {args.json}")
+    if args.metrics:
+        from repro.obs import snapshot_to_prometheus
+
+        sys.stdout.write(snapshot_to_prometheus(report.metrics))
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     """Run the seeded chaos soak and report its invariants."""
     from repro.chaos import ChaosRunner
@@ -337,6 +434,70 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--calls", type=int, default=25, help="demo plugin calls")
     p.add_argument("--plugin", default="pf", help="demo scheduler plugin")
     p.set_defaults(fn=_cmd_obs)
+    obs_sub = p.add_subparsers(dest="obs_command", metavar="merge")
+    pm = obs_sub.add_parser(
+        "merge",
+        help="merge metrics snapshots from several processes",
+        description="Merges per-process MetricsRegistry snapshots (JSON "
+        "files, either bare registry dumps or whole telemetry bundles with "
+        "a 'metrics' section) into one aggregate exposition - the same "
+        "merge path the cluster coordinator uses for its workers.",
+    )
+    pm.add_argument("snapshots", nargs="+", metavar="snap.json")
+    pm.add_argument("--format", choices=["json", "prom"], default="json")
+    pm.add_argument("-o", "--output", help="write instead of printing")
+    pm.set_defaults(fn=_cmd_obs_merge)
+
+    p = sub.add_parser(
+        "scale",
+        help="multi-process scale-out: sharded gNB workers + one RIC",
+        description="Spawns N shared-nothing cell-worker processes, each "
+        "hosting a shard of the cells with its own Wasm plugins (and chaos "
+        "schedule, if any), streaming KPM indications to the coordinator's "
+        "near-RT RIC over the batched E2 uplink.  Aggregate scheduled-bytes "
+        "and fault-log digests are invariant across runs and worker counts.",
+    )
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--cells", type=int, default=4)
+    p.add_argument("--ues", type=int, default=32, help="total UE population")
+    p.add_argument("--slots", type=int, default=400)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--engine",
+        choices=["legacy", "threaded"],
+        default=None,
+        help="Wasm engine (default: REPRO_WASM_ENGINE or threaded)",
+    )
+    p.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help="REPRO_CHAOS-style fault spec, e.g. seed=1,trap=0.01",
+    )
+    p.add_argument(
+        "--mode",
+        choices=["proc", "inline"],
+        default="proc",
+        help="proc = worker processes, inline = sequential in-process",
+    )
+    p.add_argument(
+        "--sweep",
+        metavar="W1,W2,...",
+        help="sweep worker counts (e.g. 1,2,4) and verify digest invariance",
+    )
+    p.add_argument(
+        "--verify-determinism",
+        action="store_true",
+        help="run twice and require byte-identical aggregate digests",
+    )
+    p.add_argument("--json", metavar="PATH", help="write the full report")
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the merged cross-process metrics as Prometheus text",
+    )
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="per-run worker deadline (seconds)")
+    p.set_defaults(fn=_cmd_scale)
 
     args = parser.parse_args(argv)
     try:

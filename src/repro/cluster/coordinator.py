@@ -1,0 +1,375 @@
+"""The cluster coordinator: owns the near-RT RIC, aggregates the shards.
+
+:class:`ClusterCoordinator` spawns N :mod:`cell workers
+<repro.cluster.worker>` (separate processes over :class:`TcpNetwork`, or
+inline over :class:`InProcNetwork` for deterministic single-process
+runs), demultiplexes their batched E2 uplink frames into per-node
+messages for the one :class:`~repro.ric.host.NearRtRic`, and merges the
+workers' metrics-registry snapshots with its own registry into a single
+aggregate exposition.
+
+Control actions the RIC's xApps emit toward shard nodes are *captured*
+at the coordinator (counted per node, visible as
+``waran_cluster_controls_captured_total``) rather than delivered: the
+uplink is one-directional by design, which is exactly what keeps
+per-cell results independent of worker interleaving.  See
+``docs/SCALING.md`` for the architecture and determinism argument.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import obs
+from repro.cluster.spec import COORD, ClusterSpec, cell_name
+from repro.cluster.worker import _worker_entry, run_worker, unpack_control
+from repro.e2 import vendors
+from repro.e2.batch import E2BatchError, iter_batch_frame
+from repro.e2.comm import CommChannel
+from repro.netio.batching import BatchError, is_batch
+from repro.netio.bus import InProcNetwork, TcpNetwork
+from repro.obs.merge import merge_snapshots
+from repro.ric.host import NearRtRic
+from repro.ric.wire import MSG_SLICE_KPI
+
+
+class ClusterError(RuntimeError):
+    """A worker died, timed out, or sent garbage."""
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate results of one scale-out run."""
+
+    spec: ClusterSpec
+    engine: str = ""
+    wall_seconds: float = 0.0
+    #: slowest worker's slot-loop time - the cluster's critical path
+    max_worker_seconds: float = 0.0
+    worker_seconds: list[float] = field(default_factory=list)
+    slot_rate: float = 0.0  # slots/sec through the slowest worker
+    cell_slot_rate: float = 0.0  # cell-slots/sec across the cluster
+    p50_slot_us: float = 0.0
+    p99_slot_us: float = 0.0
+    delivered_bytes: int = 0
+    bytes_by_cell: dict[str, int] = field(default_factory=dict)
+    fault_log: str = ""
+    indications_sent: int = 0
+    indications_dropped: int = 0
+    indications_seen: int = 0
+    indications_by_node: dict[str, int] = field(default_factory=dict)
+    controls_captured: dict[str, int] = field(default_factory=dict)
+    uplink: dict[str, int] = field(default_factory=dict)
+    xapp_calls: int = 0
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def bytes_digest(self) -> str:
+        """sha256 over per-cell scheduled bytes, in cell order."""
+        text = "\n".join(
+            f"{name}={self.bytes_by_cell[name]}"
+            for name in sorted(self.bytes_by_cell)
+        )
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    @property
+    def fault_digest(self) -> str:
+        return hashlib.sha256(self.fault_log.encode()).hexdigest()
+
+    def summary(self) -> str:
+        spec = self.spec
+        return (
+            f"cluster workers={spec.workers} cells={spec.cells} "
+            f"ues={spec.ues} slots={spec.slots} seed={spec.seed} "
+            f"engine={self.engine} mode={spec.mode}: "
+            f"{self.slot_rate:.1f} slots/s ({self.cell_slot_rate:.1f} "
+            f"cell-slots/s), slot p50={self.p50_slot_us:.0f}us "
+            f"p99={self.p99_slot_us:.0f}us; "
+            f"bytes={self.delivered_bytes} [{self.bytes_digest[:12]}] "
+            f"faults[{self.fault_digest[:12]}]; "
+            f"indications sent={self.indications_sent} "
+            f"seen={self.indications_seen} "
+            f"dropped={self.indications_dropped}; "
+            f"controls={sum(self.controls_captured.values())}"
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_json(),
+            "engine": self.engine,
+            "wall_seconds": self.wall_seconds,
+            "max_worker_seconds": self.max_worker_seconds,
+            "worker_seconds": self.worker_seconds,
+            "slot_rate": self.slot_rate,
+            "cell_slot_rate": self.cell_slot_rate,
+            "p50_slot_us": self.p50_slot_us,
+            "p99_slot_us": self.p99_slot_us,
+            "delivered_bytes": self.delivered_bytes,
+            "bytes_by_cell": self.bytes_by_cell,
+            "bytes_digest": self.bytes_digest,
+            "fault_digest": self.fault_digest,
+            "indications_sent": self.indications_sent,
+            "indications_dropped": self.indications_dropped,
+            "indications_seen": self.indications_seen,
+            "indications_by_node": self.indications_by_node,
+            "controls_captured": self.controls_captured,
+            "uplink": self.uplink,
+            "xapp_calls": self.xapp_calls,
+            "metrics": self.metrics,
+        }
+
+
+class ClusterCoordinator:
+    """Runs one cluster: spawn, ingest, aggregate, merge."""
+
+    def __init__(self, spec: ClusterSpec):
+        spec.validate()
+        self.spec = spec
+        self.ric: NearRtRic | None = None
+        self._ingress: dict[str, Any] = {}
+        self._results: dict[int, dict] = {}
+        self._frames_ingested = 0
+        self._messages_ingested = 0
+        self._ingest_failures = 0
+
+    # ----- RIC fabric -------------------------------------------------------
+
+    def _build_ric(self) -> None:
+        from repro.plugins import plugin_wasm
+
+        net = InProcNetwork()
+        ric_endpoint = net.endpoint("ric")
+        for g in range(self.spec.cells):
+            self._ingress[cell_name(g)] = net.endpoint(cell_name(g))
+        self.ric = NearRtRic(
+            CommChannel(ric_endpoint, vendors.vendor_b()), name="ric"
+        )
+        self.ric.load_xapp(
+            "sla",
+            plugin_wasm("xapp_sla"),
+            (MSG_SLICE_KPI,),
+            engine=self.spec.engine,
+        )
+        for g in range(self.spec.cells):
+            self.ric.register_node(cell_name(g), subscription_id=g + 1)
+
+    def _ingest_frame(self, data: bytes) -> None:
+        """Demultiplex one batched uplink frame into the RIC's fabric."""
+        self._frames_ingested += 1
+        try:
+            for node, payload in iter_batch_frame(data):
+                ingress = self._ingress.get(node)
+                if ingress is None:
+                    self._ingest_failures += 1
+                    continue
+                ingress.send("ric", payload)
+                self._messages_ingested += 1
+        except (BatchError, E2BatchError):
+            self._ingest_failures += 1
+
+    # ----- run modes --------------------------------------------------------
+
+    def run(self) -> ClusterReport:
+        """Execute the whole scale-out run and return the aggregate report."""
+        obs.enable()
+        obs.reset()
+        t0 = time.perf_counter()
+        if self.spec.mode == "inline":
+            snapshots = self._run_inline()
+        else:
+            snapshots = self._run_proc()
+        report = self._finalize(snapshots, time.perf_counter() - t0)
+        return report
+
+    def _run_inline(self) -> list[dict]:
+        """Workers run sequentially in this process over in-proc queues.
+
+        The registry is reset around each worker so every snapshot is
+        per-worker, exactly as separate processes would produce; the
+        coordinator's own registry (RIC + ingest metrics) is rebuilt
+        afterwards and merged last.
+        """
+        net = InProcNetwork()
+        coord_endpoint = net.endpoint(COORD)
+        snapshots: list[dict] = []
+        for worker_id in range(self.spec.workers):
+            obs.reset()
+            result = run_worker(
+                self.spec, worker_id, net.endpoint(f"worker{worker_id}")
+            )
+            self._results[worker_id] = result
+            snapshots.append(result["metrics"])
+        obs.reset()
+        self._build_ric()
+        for _source, data in coord_endpoint.drain():
+            if is_batch(data):
+                self._ingest_frame(data)
+        self._drain_ric()
+        return snapshots
+
+    def _run_proc(self) -> list[dict]:
+        """Workers run as real processes; frames stream in as they arrive."""
+        import multiprocessing as mp
+
+        ctx = mp.get_context("spawn")
+        with TcpNetwork() as net:
+            coord_endpoint = net.endpoint(COORD)
+            port = coord_endpoint.port  # type: ignore[attr-defined]
+            self._build_ric()
+            procs = {
+                worker_id: ctx.Process(
+                    target=_worker_entry,
+                    args=(self.spec.to_json(), worker_id, port),
+                    daemon=True,
+                )
+                for worker_id in range(self.spec.workers)
+            }
+            for proc in procs.values():
+                proc.start()
+            try:
+                self._pump(coord_endpoint, procs)
+            finally:
+                for proc in procs.values():
+                    proc.join(timeout=10)
+                    if proc.is_alive():  # pragma: no cover - hung worker
+                        proc.terminate()
+        self._drain_ric()
+        return [self._results[k]["metrics"] for k in sorted(self._results)]
+
+    def _pump(self, endpoint, procs) -> None:
+        deadline = time.monotonic() + self.spec.timeout_s
+        pending = set(procs)
+        while pending:
+            item = endpoint.recv(timeout=0.2)
+            if item is not None:
+                _source, data = item
+                doc = unpack_control(data)
+                if doc is None:
+                    if is_batch(data):
+                        self._ingest_frame(data)
+                        self.ric.step()
+                    else:
+                        self._ingest_failures += 1
+                elif doc.get("t") == "result":
+                    self._results[int(doc["worker"])] = doc
+                    pending.discard(int(doc["worker"]))
+                elif doc.get("t") == "error":
+                    raise ClusterError(
+                        f"worker {doc.get('worker')} failed: "
+                        f"{doc.get('detail')}"
+                    )
+                continue
+            for worker_id in sorted(pending):
+                proc = procs[worker_id]
+                if proc.exitcode is not None and proc.exitcode != 0:
+                    raise ClusterError(
+                        f"worker {worker_id} exited with "
+                        f"code {proc.exitcode} before reporting"
+                    )
+            if time.monotonic() > deadline:
+                raise ClusterError(
+                    f"workers {sorted(pending)} did not report within "
+                    f"{self.spec.timeout_s:.0f}s"
+                )
+
+    def _drain_ric(self) -> None:
+        """Dispatch everything queued at the RIC until it goes quiet."""
+        assert self.ric is not None
+        while True:
+            before = self.ric.indications_seen
+            self.ric.step()
+            if self.ric.indications_seen == before:
+                return
+
+    # ----- aggregation ------------------------------------------------------
+
+    def _finalize(self, snapshots: list[dict], wall: float) -> ClusterReport:
+        if len(self._results) != self.spec.workers:
+            raise ClusterError(
+                f"only {len(self._results)}/{self.spec.workers} workers "
+                "reported"
+            )
+        spec = self.spec
+        results = [self._results[k] for k in sorted(self._results)]
+        registry = obs.OBS.registry
+        registry.gauge("waran_cluster_workers", "worker count").set(
+            spec.workers
+        )
+        registry.counter(
+            "waran_cluster_ingested_batches_total",
+            "batched uplink frames the coordinator demultiplexed",
+        ).inc(self._frames_ingested)
+        registry.counter(
+            "waran_cluster_ingested_messages_total",
+            "E2 messages recovered from batched frames",
+        ).inc(self._messages_ingested)
+        registry.counter(
+            "waran_cluster_ingest_failures_total",
+            "uplink frames or entries the coordinator could not place",
+        ).inc(self._ingest_failures)
+        controls: dict[str, int] = {}
+        for name, ingress in sorted(self._ingress.items()):
+            captured = len(ingress.drain())
+            if captured:
+                controls[name] = captured
+                registry.counter(
+                    "waran_cluster_controls_captured_total",
+                    "xApp control actions captured at the coordinator "
+                    "(one-directional uplink), by node",
+                ).inc(captured, node=name)
+
+        report = ClusterReport(spec)
+        report.wall_seconds = wall
+        report.engine = results[0]["engine"] if results else ""
+        report.worker_seconds = [r["run_seconds"] for r in results]
+        report.max_worker_seconds = max(report.worker_seconds, default=0.0)
+        if report.max_worker_seconds > 0:
+            report.slot_rate = spec.slots / report.max_worker_seconds
+            report.cell_slot_rate = (
+                spec.slots * spec.cells / report.max_worker_seconds
+            )
+        qn = p50w = p99w = 0
+        for r in results:
+            snap = r.get("slot_us", {})
+            count = snap.get("count", 0)
+            if count and "p50" in snap:
+                qn += count
+                p50w += snap["p50"] * count
+                p99w += snap["p99"] * count
+        if qn:
+            report.p50_slot_us = p50w / qn
+            report.p99_slot_us = p99w / qn
+        for r in results:
+            report.bytes_by_cell.update(
+                {name: int(n) for name, n in r["delivered_bytes"].items()}
+            )
+            report.indications_sent += r["indications_sent"]
+            report.indications_dropped += r["indications_dropped"]
+            for key, value in r["uplink"].items():
+                report.uplink[key] = report.uplink.get(key, 0) + value
+        report.delivered_bytes = sum(report.bytes_by_cell.values())
+        logs: dict[str, str] = {}
+        for r in results:
+            logs.update(r["fault_logs"])
+        report.fault_log = (
+            "\n".join(logs[name] for name in sorted(logs)) + "\n"
+        )
+        assert self.ric is not None
+        report.indications_seen = self.ric.indications_seen
+        report.indications_by_node = dict(self.ric.indications_by_node)
+        report.controls_captured = controls
+        report.xapp_calls = sum(
+            runtime.calls for runtime in self.ric.xapps.values()
+        )
+        report.metrics = merge_snapshots(
+            snapshots + [registry.to_json()]
+        )
+        return report
+
+
+def run_cluster(spec: ClusterSpec) -> ClusterReport:
+    """Convenience wrapper: one spec in, one aggregate report out."""
+    return ClusterCoordinator(spec).run()

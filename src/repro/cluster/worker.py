@@ -1,0 +1,168 @@
+"""The cell worker: one shard of the cluster, one process (or inline).
+
+A worker derives its shard from ``(spec, worker_id)``, steps every hosted
+cell slot-synchronously, coalesces all cells' KPM indications into the
+shared batched uplink (flushed every ``spec.flush_every`` slots), and
+finally ships one ``result`` control frame to the coordinator carrying:
+
+- per-cell scheduled-bytes totals and deterministic fault logs,
+- its process-wide metrics-registry snapshot (merged by the coordinator
+  via :func:`repro.obs.merge.merge_snapshots`),
+- uplink/backpressure counters (also exported as ``waran_cluster_*``
+  metrics inside the snapshot).
+
+Control frames share the transport with batched E2 frames and are
+distinguished by magic::
+
+    u32 magic 'CLS1' | utf-8 JSON document
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import time
+from typing import Any
+
+from repro import obs
+from repro.chaos.schedule import schedule_from_env
+from repro.cluster.shard import (
+    CellShard,
+    build_cell,
+    render_cell_log,
+    step_operator_loop,
+)
+from repro.cluster.spec import COORD, ClusterSpec
+from repro.e2 import vendors
+from repro.netio.batching import BatchSender
+from repro.netio.bus import Endpoint
+
+CLUSTER_MAGIC = 0x31534C43  # 'CLS1' little-endian
+
+
+def pack_control(doc: dict[str, Any]) -> bytes:
+    return struct.pack("<I", CLUSTER_MAGIC) + json.dumps(
+        doc, separators=(",", ":"), sort_keys=True
+    ).encode()
+
+
+def unpack_control(data: bytes) -> dict[str, Any] | None:
+    """The parsed control document, or ``None`` for non-control frames."""
+    if len(data) < 4 or struct.unpack_from("<I", data, 0)[0] != CLUSTER_MAGIC:
+        return None
+    return json.loads(data[4:].decode())
+
+
+def run_worker(
+    spec: ClusterSpec, worker_id: int, endpoint: Endpoint
+) -> dict[str, Any]:
+    """Build the shard, run the slot loop, return the result document.
+
+    Enables (and, in its own process, effectively owns) the process-wide
+    telemetry registry: the returned snapshot carries everything the
+    shard's gNBs, plugins and uplink recorded.  Inline-mode callers reset
+    the registry around each worker so snapshots stay per-worker.
+    """
+    from repro.wasm.threaded import resolve_engine
+
+    obs.enable()
+    engine = resolve_engine(spec.engine)
+    schedule = schedule_from_env(spec.chaos) if spec.chaos else None
+    profile = vendors.vendor_b()
+    sender = BatchSender(
+        endpoint, COORD, max_queue=spec.queue_limit, max_batch=spec.max_batch
+    )
+    cells: list[CellShard] = [
+        build_cell(spec, g, sender, profile, schedule)
+        for g in spec.cells_for_worker(worker_id)
+    ]
+
+    registry = obs.OBS.registry
+    label = str(worker_id)
+    registry.gauge(
+        "waran_cluster_cells", "cells hosted, by worker"
+    ).set(len(cells), worker=label)
+    slot_hist = registry.histogram(
+        "waran_cluster_slot_us",
+        "per-slot shard step time (all hosted cells), by worker (us)",
+    )
+
+    t0 = time.perf_counter()
+    for slot in range(spec.slots):
+        s0 = time.perf_counter()
+        for cell in cells:
+            cell.gnb.step()
+            cell.node.step()
+            if schedule is not None:
+                step_operator_loop(cell, slot, spec.release_after)
+        slot_hist.observe((time.perf_counter() - s0) * 1e6, worker=label)
+        if (slot + 1) % spec.flush_every == 0:
+            sender.flush()
+    sender.flush()
+    run_seconds = time.perf_counter() - t0
+
+    for cell in cells:
+        cell.gnb.finish_meters()
+
+    stats = sender.stats()
+    for key, metric_name in (
+        ("offered", "waran_cluster_uplink_offered_total"),
+        ("dropped", "waran_cluster_uplink_dropped_total"),
+        ("batches_sent", "waran_cluster_uplink_batches_total"),
+        ("messages_sent", "waran_cluster_uplink_messages_total"),
+        ("bytes_sent", "waran_cluster_uplink_bytes_total"),
+    ):
+        registry.counter(
+            metric_name, f"batched E2 uplink {key.replace('_', ' ')}, by worker"
+        ).inc(stats[key], worker=label)
+
+    return {
+        "t": "result",
+        "worker": worker_id,
+        "engine": engine,
+        "cells": [cell.name for cell in cells],
+        "slots": spec.slots,
+        "run_seconds": run_seconds,
+        "delivered_bytes": {
+            cell.name: cell.gnb.total_delivered_bytes for cell in cells
+        },
+        "fault_logs": {
+            cell.name: render_cell_log(cell, spec, engine, schedule)
+            for cell in cells
+        },
+        "indications_sent": sum(cell.node.channel.sent for cell in cells),
+        "indications_dropped": sum(
+            cell.node.channel.dropped for cell in cells
+        ),
+        "uplink": stats,
+        "slot_us": slot_hist.snapshot(worker=label),
+        "metrics": registry.to_json(),
+    }
+
+
+def _worker_entry(spec_doc: dict, worker_id: int, coord_port: int) -> None:
+    """Process entry point: connect back to the coordinator and run."""
+    from repro.netio.bus import TcpNetwork
+
+    spec = ClusterSpec.from_json(spec_doc)
+    with TcpNetwork() as net:
+        net.register_peer(COORD, coord_port)
+        endpoint = net.endpoint(f"worker{worker_id}")
+        endpoint.send(
+            COORD, pack_control({"t": "hello", "worker": worker_id})
+        )
+        try:
+            result = run_worker(spec, worker_id, endpoint)
+        except Exception as exc:  # surfaced by the coordinator, not lost
+            endpoint.send(
+                COORD,
+                pack_control(
+                    {
+                        "t": "error",
+                        "worker": worker_id,
+                        "detail": f"{type(exc).__name__}: {exc}",
+                    }
+                ),
+            )
+            raise
+        endpoint.send(COORD, pack_control(result))

@@ -15,7 +15,10 @@ protocol in plugins on both sides instead.  This package provides:
   mismatched vendor field scales;
 - :mod:`repro.e2.node` - the E2-node agent embedded in a gNB: answers
   subscriptions, streams KPM indications, executes control actions through
-  exposed gNB controls.
+  exposed gNB controls;
+- :mod:`repro.e2.batch` - the batched uplink the cluster workers use:
+  many per-slot indications coalesced into one frame, with bounded queues
+  and explicit backpressure counters.
 """
 
 from repro.e2.messages import (
@@ -36,6 +39,13 @@ from repro.e2.messages import (
 from repro.e2.vendors import VendorProfile, VENDOR_A, VENDOR_B
 from repro.e2.comm import CommChannel, WasmFieldAdapter
 from repro.e2.node import E2NodeAgent
+from repro.e2.batch import (
+    BatchedUplinkChannel,
+    E2BatchError,
+    decode_batch_entry,
+    encode_batch_entry,
+    iter_batch_frame,
+)
 
 __all__ = [
     "E2MessageError",
@@ -57,4 +67,9 @@ __all__ = [
     "CommChannel",
     "WasmFieldAdapter",
     "E2NodeAgent",
+    "BatchedUplinkChannel",
+    "E2BatchError",
+    "encode_batch_entry",
+    "decode_batch_entry",
+    "iter_batch_frame",
 ]

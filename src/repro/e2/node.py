@@ -78,6 +78,26 @@ class E2NodeAgent:
                 ).inc(node=self.node_id, dest=dest)
             return False
 
+    def local_subscribe(
+        self,
+        subscription_id: int,
+        subscriber: str,
+        period_slots: int,
+        service_model: str = messages.SM_KPM,
+    ) -> None:
+        """Install a subscription without the wire handshake.
+
+        Cluster shards are pre-subscribed by their spec: the coordinator
+        knows every cell's reporting period up front, so the worker skips
+        the setup/subscription round-trip (the uplink is one-directional)
+        and starts streaming indications toward ``subscriber`` directly.
+        """
+        if period_slots <= 0:
+            raise messages.E2MessageError("report period must be positive")
+        self.subscriptions[subscription_id] = _Subscription(
+            subscription_id, subscriber, service_model, period_slots
+        )
+
     # ----- control-plane message handling ------------------------------------
 
     def handle_messages(self) -> None:

@@ -13,6 +13,13 @@ Both deliver ``(source, payload: bytes)`` datagram-style messages between
 named endpoints.
 """
 
+from repro.netio.batching import (
+    BatchError,
+    BatchSender,
+    is_batch,
+    pack_batch,
+    unpack_batch,
+)
 from repro.netio.bus import Endpoint, InProcNetwork, NetworkError, TcpNetwork
 from repro.netio.framing import FrameError, read_frame, write_frame
 
@@ -24,4 +31,9 @@ __all__ = [
     "read_frame",
     "write_frame",
     "FrameError",
+    "BatchError",
+    "BatchSender",
+    "is_batch",
+    "pack_batch",
+    "unpack_batch",
 ]

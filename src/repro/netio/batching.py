@@ -1,0 +1,153 @@
+"""Payload batching with bounded queues and explicit backpressure.
+
+The cluster's E2 uplink coalesces many per-slot indications into one
+transport frame instead of paying per-message framing and syscall costs.
+The wire format is transport-agnostic (it rides *inside* the existing
+length-prefixed frame of :mod:`repro.netio.framing`)::
+
+    u32 magic 'WBAT' | u32 count | count * (u32 len | payload)
+
+Backpressure is explicit, not implicit: :class:`BatchSender` owns a
+*bounded* queue.  When the queue is full, :meth:`BatchSender.offer`
+refuses the payload and counts the drop - the producer learns immediately
+and the process never buffers without bound.  Telemetry loss is visible
+in the ``dropped`` counter (exported as ``waran_cluster_*`` metrics by
+the cluster workers) instead of hiding as creeping memory growth.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.netio.bus import Endpoint
+from repro.netio.framing import MAX_FRAME
+
+BATCH_MAGIC = 0x54414257  # 'WBAT' little-endian
+
+_HEADER = struct.Struct("<II")
+_ENTRY_LEN = struct.Struct("<I")
+
+#: room the outer frame header needs inside MAX_FRAME
+_FRAME_SLACK = 1024
+
+
+class BatchError(ValueError):
+    """Malformed batch payload."""
+
+
+def is_batch(data: bytes) -> bool:
+    """True iff ``data`` starts with the batch magic."""
+    return len(data) >= 8 and _HEADER.unpack_from(data, 0)[0] == BATCH_MAGIC
+
+
+def pack_batch(payloads: list[bytes]) -> bytes:
+    """Coalesce payloads into one batch frame body."""
+    parts = [_HEADER.pack(BATCH_MAGIC, len(payloads))]
+    for payload in payloads:
+        parts.append(_ENTRY_LEN.pack(len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def unpack_batch(data: bytes) -> list[bytes]:
+    """Split a batch frame body back into its payloads."""
+    if len(data) < 8:
+        raise BatchError("short batch frame")
+    magic, count = _HEADER.unpack_from(data, 0)
+    if magic != BATCH_MAGIC:
+        raise BatchError(f"bad batch magic 0x{magic:08x}")
+    payloads = []
+    offset = 8
+    for _ in range(count):
+        if offset + 4 > len(data):
+            raise BatchError("batch entry header overruns frame")
+        (length,) = _ENTRY_LEN.unpack_from(data, offset)
+        offset += 4
+        if offset + length > len(data):
+            raise BatchError("batch entry overruns frame")
+        payloads.append(data[offset : offset + length])
+        offset += length
+    if offset != len(data):
+        raise BatchError(f"{len(data) - offset} trailing bytes after batch")
+    return payloads
+
+
+class BatchSender:
+    """A bounded, explicitly flushed batch queue toward one destination.
+
+    ``offer`` enqueues (returning ``False`` and counting a drop when the
+    queue is full); ``flush`` packs everything queued into as few frames
+    as fit under ``MAX_FRAME`` and sends them.  The producer decides the
+    flush cadence (the cluster workers flush every N slots).
+    """
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        dest: str,
+        max_queue: int = 4096,
+        max_batch: int = 512,
+    ):
+        if max_queue <= 0 or max_batch <= 0:
+            raise ValueError("max_queue and max_batch must be positive")
+        self.endpoint = endpoint
+        self.dest = dest
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self._queue: list[bytes] = []
+        self.offered = 0
+        self.dropped = 0
+        self.dropped_oversize = 0
+        self.batches_sent = 0
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def offer(self, payload: bytes) -> bool:
+        """Enqueue one payload; False (and a drop count) on backpressure."""
+        self.offered += 1
+        if len(payload) + 16 > MAX_FRAME - _FRAME_SLACK:
+            self.dropped_oversize += 1
+            self.dropped += 1
+            return False
+        if len(self._queue) >= self.max_queue:
+            self.dropped += 1
+            return False
+        self._queue.append(bytes(payload))
+        return True
+
+    def flush(self) -> int:
+        """Send everything queued; returns the number of messages flushed."""
+        flushed = 0
+        while self._queue:
+            batch: list[bytes] = []
+            size = 8
+            while (
+                self._queue
+                and len(batch) < self.max_batch
+                and size + 4 + len(self._queue[0]) <= MAX_FRAME - _FRAME_SLACK
+            ):
+                payload = self._queue.pop(0)
+                size += 4 + len(payload)
+                batch.append(payload)
+            frame = pack_batch(batch)
+            self.endpoint.send(self.dest, frame)
+            self.batches_sent += 1
+            self.messages_sent += len(batch)
+            self.bytes_sent += len(frame)
+            flushed += len(batch)
+        return flushed
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "offered": self.offered,
+            "dropped": self.dropped,
+            "dropped_oversize": self.dropped_oversize,
+            "batches_sent": self.batches_sent,
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "queued": self.queued,
+        }

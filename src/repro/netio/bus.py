@@ -28,6 +28,15 @@ class Endpoint(ABC):
     def recv(self, timeout: float | None = 0.0) -> tuple[str, bytes] | None:
         """Next ``(source, payload)`` or ``None`` if none within ``timeout``."""
 
+    def close(self) -> None:
+        """Release any transport resources; in-proc endpoints have none."""
+
+    def __enter__(self) -> "Endpoint":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def drain(self) -> list[tuple[str, bytes]]:
         """All currently queued messages."""
         out = []
@@ -82,15 +91,18 @@ class InProcNetwork:
 class _TcpEndpoint(Endpoint):
     """One TCP listener per endpoint; outgoing connections cached."""
 
-    def __init__(self, network: "TcpNetwork", name: str):
+    def __init__(self, network: "TcpNetwork", name: str, port: int = 0):
         super().__init__(name)
         self._network = network
         self._queue: queue.Queue = queue.Queue()
-        self._server = socket.create_server(("127.0.0.1", 0))
+        self._server = socket.create_server(("127.0.0.1", port))
         self.port = self._server.getsockname()[1]
         self._out: dict[str, socket.socket] = {}
         self._lock = threading.Lock()
         self._closed = False
+        #: accepted inbound connections, so close() can drop every FD even
+        #: while the remote side keeps its end open
+        self._conns: set[socket.socket] = set()
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
 
@@ -102,6 +114,11 @@ class _TcpEndpoint(Endpoint):
                 conn, _ = self._server.accept()
             except OSError:
                 return
+            with self._lock:
+                if self._closed:
+                    conn.close()
+                    return
+                self._conns.add(conn)
             threading.Thread(
                 target=self._reader_loop, args=(conn,), daemon=True
             ).start()
@@ -121,8 +138,31 @@ class _TcpEndpoint(Endpoint):
                 self._queue.put(read_frame(recv_exact))
         except (ConnectionError, OSError, ValueError):
             conn.close()
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
 
     # ----- send side --------------------------------------------------------
+
+    @staticmethod
+    def _peer_closed(sock: socket.socket) -> bool:
+        """True when the remote end already sent FIN (or the socket died).
+
+        Cached outgoing connections are send-only, so any readable event
+        can only be EOF; ``sendall`` into such a socket "succeeds" into
+        the buffer and the frame is silently lost, which is why the check
+        happens *before* reuse rather than relying on a send error.
+        """
+        try:
+            sock.setblocking(False)
+            try:
+                return sock.recv(1, socket.MSG_PEEK) == b""
+            finally:
+                sock.setblocking(True)
+        except BlockingIOError:
+            return False  # nothing readable: peer still there
+        except OSError:
+            return True
 
     def send(self, dest: str, payload: bytes) -> None:
         port = self._network._ports.get(dest)
@@ -131,6 +171,9 @@ class _TcpEndpoint(Endpoint):
         frame = write_frame(self.name, payload)
         with self._lock:
             sock = self._out.get(dest)
+            if sock is not None and self._peer_closed(sock):
+                sock.close()
+                sock = None
             if sock is None:
                 sock = socket.create_connection(("127.0.0.1", port), timeout=5)
                 self._out[dest] = sock
@@ -152,29 +195,79 @@ class _TcpEndpoint(Endpoint):
             return None
 
     def close(self) -> None:
+        """Close the listener, every accepted connection, and every cached
+        outgoing connection - no FD survives, so repeated cluster runs can
+        rebind the same ports without leaking sockets.
+
+        ``shutdown`` before ``close`` matters on both paths: a thread
+        blocked in ``accept``/``recv`` holds a kernel reference that keeps
+        the socket alive (and the port in LISTEN) past ``close``;
+        ``shutdown`` wakes it so the FD is actually released."""
         self._closed = True
+        try:
+            self._server.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # already closed, or never connected (platform-dependent)
         self._server.close()
+        self._accept_thread.join(timeout=2)
         with self._lock:
-            for sock in self._out.values():
-                sock.close()
+            out = list(self._out.values())
             self._out.clear()
+            conns = list(self._conns)
+            self._conns.clear()
+        for sock in out:
+            sock.close()
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:  # pragma: no cover - peer already gone
+                pass
+            conn.close()
+        self._network._forget(self.name)
 
 
 class TcpNetwork:
-    """Localhost TCP network with the same interface as :class:`InProcNetwork`."""
+    """Localhost TCP network with the same interface as :class:`InProcNetwork`.
+
+    Also usable as a context manager, and across *processes*: a worker
+    process creates its own ``TcpNetwork`` and learns the coordinator's
+    port via :meth:`register_peer` instead of sharing the registry.
+    """
 
     def __init__(self) -> None:
         self._ports: dict[str, int] = {}
         self._endpoints: dict[str, _TcpEndpoint] = {}
 
-    def endpoint(self, name: str) -> Endpoint:
+    def endpoint(self, name: str, port: int = 0) -> Endpoint:
+        """Create a listening endpoint (``port=0`` picks a free one).
+
+        Passing an explicit ``port`` supports stop/restart on the same
+        address - ``SO_REUSEADDR`` is set, so a just-closed port rebinds.
+        """
         if name in self._ports:
             raise NetworkError(f"endpoint {name!r} already exists")
-        ep = _TcpEndpoint(self, name)
+        ep = _TcpEndpoint(self, name, port=port)
         self._ports[name] = ep.port
         self._endpoints[name] = ep
         return ep
 
+    def register_peer(self, name: str, port: int) -> None:
+        """Make a remote endpoint (e.g. in another process) addressable."""
+        existing = self._ports.get(name)
+        if existing is not None and existing != port:
+            raise NetworkError(f"endpoint {name!r} already bound to {existing}")
+        self._ports[name] = port
+
+    def _forget(self, name: str) -> None:
+        self._ports.pop(name, None)
+        self._endpoints.pop(name, None)
+
     def close(self) -> None:
-        for ep in self._endpoints.values():
+        for ep in list(self._endpoints.values()):
             ep.close()
+
+    def __enter__(self) -> "TcpNetwork":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

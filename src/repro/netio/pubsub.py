@@ -22,7 +22,7 @@ import struct
 from collections import deque
 from typing import Any
 
-from repro.netio.bus import Endpoint
+from repro.netio.bus import Endpoint, NetworkError
 
 
 class PubSubError(RuntimeError):
@@ -55,10 +55,25 @@ class Broker:
         self._seq = 0
         self.published = 0
         self.delivered = 0
+        #: deliveries abandoned because the subscriber endpoint was gone;
+        #: the subscriber is evicted from every topic so one dead peer
+        #: can never starve the remaining subscribers
+        self.dead_subscribers = 0
 
     @property
     def name(self) -> str:
         return self.endpoint.name
+
+    def _deliver(self, subscriber: str, frame: bytes) -> bool:
+        try:
+            self.endpoint.send(subscriber, frame)
+        except (NetworkError, OSError):
+            self.dead_subscribers += 1
+            for members in self._subscribers.values():
+                members.discard(subscriber)
+            return False
+        self.delivered += 1
+        return True
 
     def step(self) -> None:
         """Process all queued broker traffic."""
@@ -72,8 +87,9 @@ class Broker:
             if op == "sub":
                 self._subscribers.setdefault(topic, set()).add(source)
                 for seq, retained in self._retained.get(topic, ()):
-                    self.endpoint.send(
-                        source, _pack({"op": "msg", "topic": topic, "seq": seq}, retained)
+                    self._deliver(
+                        source,
+                        _pack({"op": "msg", "topic": topic, "seq": seq}, retained),
                     )
             elif op == "unsub":
                 self._subscribers.get(topic, set()).discard(source)
@@ -84,9 +100,8 @@ class Broker:
                     queue = self._retained.setdefault(topic, deque(maxlen=self.retain))
                     queue.append((self._seq, payload))
                 frame = _pack({"op": "msg", "topic": topic, "seq": self._seq}, payload)
-                for subscriber in self._subscribers.get(topic, ()):
-                    self.endpoint.send(subscriber, frame)
-                    self.delivered += 1
+                for subscriber in sorted(self._subscribers.get(topic, ())):
+                    self._deliver(subscriber, frame)
 
 
 class PubSubClient:

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from repro.obs.events import Event, EventLog
 from repro.obs.flight import CallRecord, FlightRecorder
+from repro.obs.merge import MergeError, merge_snapshots, snapshot_to_prometheus
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracing import NULL_SPAN, Span, Tracer, traced
 
@@ -114,4 +115,7 @@ __all__ = [
     "CallRecord",
     "EventLog",
     "Event",
+    "MergeError",
+    "merge_snapshots",
+    "snapshot_to_prometheus",
 ]

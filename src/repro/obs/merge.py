@@ -1,0 +1,176 @@
+"""Merging metrics-registry snapshots across processes.
+
+Every cluster worker runs its own process-wide
+:class:`~repro.obs.registry.MetricsRegistry`; at the end of a run it
+serialises the registry with :meth:`~MetricsRegistry.to_json` and ships
+the snapshot to the coordinator, which merges all of them (plus its own
+registry) into one aggregate document with the same shape.  The ``repro
+obs merge`` CLI subcommand exposes the identical merge path for offline
+use (e.g. combining snapshots uploaded from several CI runs).
+
+Merge semantics per metric kind:
+
+- **counter** - series with the same label set sum;
+- **gauge** - series with the same label set sum (a cluster-wide gauge is
+  the total across shards; per-shard values stay distinguishable when the
+  producer labels them, e.g. ``worker="3"``);
+- **histogram** - ``count``/``sum``/``min``/``max`` merge exactly and the
+  mean is recomputed; ``p50``/``p99`` cannot be reconstructed from
+  snapshots, so the merge carries the *count-weighted average* of the
+  per-process quantiles - a documented approximation that is exact when
+  the shards are statistically identical (the sharded-cell case) and
+  close otherwise.  ``stddev`` is dropped for the same reason.
+
+The merged document stays loadable by everything that reads
+``to_json()`` output, and :func:`snapshot_to_prometheus` renders it in
+the Prometheus text exposition for scraping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+class MergeError(ValueError):
+    """Snapshots disagree about a metric's type."""
+
+
+def _key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _merge_scalar(into: dict[LabelKey, float], series: Iterable[dict]) -> None:
+    for entry in series:
+        key = _key(entry.get("labels", {}))
+        into[key] = into.get(key, 0.0) + float(entry.get("value", 0.0))
+
+
+def _merge_histogram(into: dict[LabelKey, dict], series: Iterable[dict]) -> None:
+    for entry in series:
+        key = _key(entry.get("labels", {}))
+        count = int(entry.get("count", 0))
+        acc = into.setdefault(
+            key, {"count": 0, "sum": 0.0, "_p50w": 0.0, "_p99w": 0.0, "_qn": 0}
+        )
+        acc["count"] += count
+        acc["sum"] += float(entry.get("sum", 0.0))
+        if count == 0:
+            continue
+        if "min" in entry:
+            acc["min"] = min(acc.get("min", entry["min"]), entry["min"])
+        if "max" in entry:
+            acc["max"] = max(acc.get("max", entry["max"]), entry["max"])
+        if "p50" in entry:
+            acc["_p50w"] += entry["p50"] * count
+            acc["_p99w"] += entry.get("p99", entry["p50"]) * count
+            acc["_qn"] += count
+
+
+def _finish_histogram(acc: dict) -> dict[str, float]:
+    out: dict[str, float] = {"count": acc["count"], "sum": acc["sum"]}
+    if acc["count"]:
+        out["mean"] = acc["sum"] / acc["count"]
+        for bound in ("min", "max"):
+            if bound in acc:
+                out[bound] = acc[bound]
+        if acc["_qn"]:
+            out["p50"] = acc["_p50w"] / acc["_qn"]
+            out["p99"] = acc["_p99w"] / acc["_qn"]
+    return out
+
+
+def merge_snapshots(snapshots: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Merge ``MetricsRegistry.to_json()`` documents into one.
+
+    Accepts both bare registry snapshots (``{metric: {...}}``) and the
+    benchmark/report wrappers that nest one under a ``"metrics"`` key.
+    """
+    kinds: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    scalars: dict[str, dict[LabelKey, float]] = {}
+    histograms: dict[str, dict[LabelKey, dict]] = {}
+
+    for doc in snapshots:
+        metrics = doc.get("metrics", doc) if isinstance(doc, dict) else doc
+        for name, family in sorted(metrics.items()):
+            if not isinstance(family, dict) or "series" not in family:
+                raise MergeError(f"{name!r} is not a metric family snapshot")
+            kind = family.get("type", "untyped")
+            if kinds.setdefault(name, kind) != kind:
+                raise MergeError(
+                    f"metric {name!r} is {kinds[name]} in one snapshot "
+                    f"and {kind} in another"
+                )
+            if family.get("help") and not helps.get(name):
+                helps[name] = family["help"]
+            if kind == "histogram":
+                _merge_histogram(
+                    histograms.setdefault(name, {}), family["series"]
+                )
+            else:
+                _merge_scalar(scalars.setdefault(name, {}), family["series"])
+
+    out: dict[str, Any] = {}
+    for name in sorted(kinds):
+        kind = kinds[name]
+        if kind == "histogram":
+            series = [
+                {"labels": dict(key), **_finish_histogram(acc)}
+                for key, acc in sorted(histograms.get(name, {}).items())
+            ]
+        else:
+            series = [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(scalars.get(name, {}).items())
+            ]
+        out[name] = {"type": kind, "help": helps.get(name, ""), "series": series}
+    return out
+
+
+def _label_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def snapshot_to_prometheus(snapshot: dict[str, Any]) -> str:
+    """Render a (merged) registry snapshot as Prometheus text exposition."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        kind = family.get("type", "untyped")
+        lines.append(
+            f"# TYPE {name} {'summary' if kind == 'histogram' else kind}"
+        )
+        for entry in family.get("series", ()):
+            labels = dict(entry.get("labels", {}))
+            if kind == "histogram":
+                for q, qlabel in (("p50", "0.5"), ("p99", "0.99")):
+                    if q in entry:
+                        qlabels = dict(labels, quantile=qlabel)
+                        lines.append(
+                            f"{name}{_label_text(qlabels)} {entry[q]:g}"
+                        )
+                lines.append(
+                    f"{name}_sum{_label_text(labels)} {entry.get('sum', 0):g}"
+                )
+                lines.append(
+                    f"{name}_count{_label_text(labels)} "
+                    f"{entry.get('count', 0):g}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_text(labels)} {entry.get('value', 0):g}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

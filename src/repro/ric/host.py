@@ -84,6 +84,9 @@ class NearRtRic:
         self._subscription_ids = itertools.count(1)
         self.nodes: dict[str, dict[str, Any]] = {}  # node endpoint -> state
         self.indications_seen = 0
+        #: per-node indication totals - the multi-node aggregation view a
+        #: cluster coordinator reads after fan-in from many gNB shards
+        self.indications_by_node: dict[str, int] = {}
         self.controls_sent: list[dict[str, Any]] = []
         self.acks: list[dict[str, Any]] = []
         self.xapp_log: list[tuple[str, int, int]] = []
@@ -199,6 +202,18 @@ class NearRtRic:
         self.nodes[node_dest] = {"subscription_id": subscription_id, "ready": False}
         return subscription_id
 
+    def register_node(
+        self, node_dest: str, subscription_id: int | None = None
+    ) -> None:
+        """Adopt an already-subscribed node without the E2 handshake.
+
+        Cluster shards are pre-subscribed by their worker spec (see
+        :meth:`repro.e2.node.E2NodeAgent.local_subscribe`); the
+        coordinator registers each of them here so the RIC tracks and
+        aggregates per-node state exactly as for handshaken nodes.
+        """
+        self.nodes[node_dest] = {"subscription_id": subscription_id, "ready": True}
+
     # ----- the control loop --------------------------------------------------------
 
     def step(self) -> list[wire.XappAction]:
@@ -221,6 +236,14 @@ class NearRtRic:
                 self.acks.append(message)
             elif msg_type == messages.MSG_INDICATION:
                 self.indications_seen += 1
+                self.indications_by_node[source] = (
+                    self.indications_by_node.get(source, 0) + 1
+                )
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "waran_ric_indications_total",
+                        "KPM indications received, by originating node",
+                    ).inc(node=source)
                 executed.extend(self._handle_indication(source, message))
         return executed
 

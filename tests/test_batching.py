@@ -1,0 +1,134 @@
+"""Tests for the batched-uplink framing and the bounded BatchSender."""
+
+import pytest
+
+from repro.netio import (
+    BatchError,
+    BatchSender,
+    InProcNetwork,
+    is_batch,
+    pack_batch,
+    unpack_batch,
+)
+from repro.netio.framing import MAX_FRAME
+
+
+class TestBatchFormat:
+    def test_roundtrip(self):
+        payloads = [b"", b"a", bytes(range(256)), b"tail"]
+        assert unpack_batch(pack_batch(payloads)) == payloads
+
+    def test_empty_batch(self):
+        assert unpack_batch(pack_batch([])) == []
+
+    def test_is_batch(self):
+        assert is_batch(pack_batch([b"x"]))
+        assert not is_batch(b"")
+        assert not is_batch(b"\x00" * 8)
+        assert not is_batch(b"WBA")  # shorter than the header
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(BatchError):
+            unpack_batch(b"\x00\x00\x00\x00\x01\x00\x00\x00")
+
+    def test_truncated_entry_rejected(self):
+        frame = pack_batch([b"hello world"])
+        with pytest.raises(BatchError):
+            unpack_batch(frame[:-3])
+
+    def test_truncated_entry_header_rejected(self):
+        frame = pack_batch([b"a", b"b"])
+        with pytest.raises(BatchError):
+            unpack_batch(frame[:-6])  # second entry's length field cut
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(BatchError):
+            unpack_batch(pack_batch([b"x"]) + b"junk")
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(BatchError):
+            unpack_batch(b"WB")
+
+
+def make_sender(**kwargs):
+    net = InProcNetwork()
+    sink = net.endpoint("sink")
+    sender = BatchSender(net.endpoint("src"), "sink", **kwargs)
+    return sink, sender
+
+
+class TestBatchSender:
+    def test_offer_flush_delivers(self):
+        sink, sender = make_sender()
+        assert sender.offer(b"one")
+        assert sender.offer(b"two")
+        assert sender.queued == 2
+        assert sender.flush() == 2
+        assert sender.queued == 0
+        frames = [payload for _src, payload in sink.drain()]
+        assert len(frames) == 1
+        assert unpack_batch(frames[0]) == [b"one", b"two"]
+
+    def test_flush_empty_is_noop(self):
+        sink, sender = make_sender()
+        assert sender.flush() == 0
+        assert sink.drain() == []
+        assert sender.batches_sent == 0
+
+    def test_backpressure_refuses_and_counts(self):
+        sink, sender = make_sender(max_queue=3)
+        assert all(sender.offer(bytes([i])) for i in range(3))
+        assert not sender.offer(b"overflow")  # refused, not buffered
+        assert not sender.offer(b"overflow2")
+        assert sender.queued == 3
+        assert sender.dropped == 2
+        assert sender.offered == 5
+        sender.flush()
+        assert sender.offer(b"after flush")  # capacity freed
+
+    def test_oversize_payload_dropped(self):
+        sink, sender = make_sender()
+        assert not sender.offer(b"\x00" * MAX_FRAME)
+        assert sender.dropped_oversize == 1
+        assert sender.dropped == 1
+        assert sender.queued == 0
+
+    def test_max_batch_splits_frames(self):
+        sink, sender = make_sender(max_batch=4)
+        for i in range(10):
+            assert sender.offer(bytes([i]))
+        assert sender.flush() == 10
+        frames = [payload for _src, payload in sink.drain()]
+        assert [len(unpack_batch(f)) for f in frames] == [4, 4, 2]
+        # order survives the split
+        flat = [p for f in frames for p in unpack_batch(f)]
+        assert flat == [bytes([i]) for i in range(10)]
+
+    def test_frame_size_cap_splits_frames(self):
+        sink, sender = make_sender(max_batch=10_000)
+        chunk = b"\x00" * (6 << 20)  # three don't fit in one 16MiB frame
+        for _ in range(3):
+            assert sender.offer(chunk)
+        sender.flush()
+        frames = [payload for _src, payload in sink.drain()]
+        assert len(frames) == 2
+        assert all(len(f) <= MAX_FRAME for f in frames)
+
+    def test_stats_shape(self):
+        _sink, sender = make_sender()
+        sender.offer(b"x")
+        sender.flush()
+        stats = sender.stats()
+        assert stats["offered"] == 1
+        assert stats["messages_sent"] == 1
+        assert stats["batches_sent"] == 1
+        assert stats["dropped"] == 0
+        assert stats["queued"] == 0
+        assert stats["bytes_sent"] > 0
+
+    def test_bad_limits_rejected(self):
+        net = InProcNetwork()
+        with pytest.raises(ValueError):
+            BatchSender(net.endpoint("a"), "b", max_queue=0)
+        with pytest.raises(ValueError):
+            BatchSender(net.endpoint("c"), "b", max_batch=0)

@@ -131,3 +131,84 @@ class TestTcpNetwork:
                 a.send("ghost", b"x")
         finally:
             net.close()
+
+
+def _open_fds() -> int:
+    import os
+
+    return len(os.listdir("/proc/self/fd"))
+
+
+class TestTcpLifecycle:
+    def test_network_context_manager(self):
+        with TcpNetwork() as net:
+            a = net.endpoint("a")
+            b = net.endpoint("b")
+            a.send("b", b"ctx")
+            assert b.recv(timeout=5.0) == ("a", b"ctx")
+        # everything closed: sends now fail outright
+        with pytest.raises((NetworkError, OSError)):
+            a.send("b", b"after close")
+
+    def test_endpoint_context_manager(self):
+        with TcpNetwork() as net:
+            with net.endpoint("a") as a:
+                with net.endpoint("b") as b:
+                    a.send("b", b"x")
+                    assert b.recv(timeout=5.0) == ("a", b"x")
+
+    def test_no_leaked_fds(self):
+        import time
+
+        before = _open_fds()
+        for _ in range(3):
+            with TcpNetwork() as net:
+                a = net.endpoint("a")
+                b = net.endpoint("b")
+                for i in range(5):
+                    a.send("b", bytes([i]))
+                got = 0
+                while got < 5:
+                    assert b.recv(timeout=5.0) is not None
+                    got += 1
+        time.sleep(0.1)  # reader threads observe their closed sockets
+        assert _open_fds() <= before
+
+    def test_stop_then_restart_on_same_port(self):
+        with TcpNetwork() as net:
+            server = net.endpoint("svc")
+            port = server.port
+            client = net.endpoint("client")
+            client.send("svc", b"first")
+            assert server.recv(timeout=5.0) == ("client", b"first")
+
+            server.close()  # forgets the name, closes listener + conns
+            reborn = net.endpoint("svc", port=port)
+            assert reborn.port == port
+            client.send("svc", b"second")  # reconnects transparently
+            assert reborn.recv(timeout=5.0) == ("client", b"second")
+
+    def test_register_peer_conflict_rejected(self):
+        with TcpNetwork() as net:
+            a = net.endpoint("a")
+            net.register_peer("remote", 54321)
+            net.register_peer("remote", 54321)  # idempotent
+            with pytest.raises(NetworkError):
+                net.register_peer("remote", 54322)
+            with pytest.raises(NetworkError):
+                net.register_peer("a", a.port + 1)  # type: ignore[operator]
+
+    def test_cross_network_peer(self):
+        """Two registries, as two processes would have, linked by port."""
+        with TcpNetwork() as net1, TcpNetwork() as net2:
+            server = net1.endpoint("coord")
+            net2.register_peer("coord", server.port)  # type: ignore[attr-defined]
+            worker = net2.endpoint("worker0")
+            worker.send("coord", b"hello")
+            assert server.recv(timeout=5.0) == ("worker0", b"hello")
+
+    def test_endpoint_close_idempotent(self):
+        with TcpNetwork() as net:
+            a = net.endpoint("a")
+            a.close()
+            a.close()  # second close is a no-op, not an error

@@ -116,6 +116,117 @@ class TestBroker:
             net.close()
 
 
+class TestRetainedDelivery:
+    def test_late_subscriber_retention_is_counted(self):
+        """Retained catch-up frames go through the same delivery path."""
+        _net, broker, a, b = make(retain=2)
+        b.publish("t", b"m1")
+        b.publish("t", b"m2")
+        broker.step()
+        assert broker.delivered == 0  # nobody was subscribed yet
+        a.subscribe("t")
+        broker.step()
+        assert [p for _t, _s, p in a.poll()] == [b"m1", b"m2"]
+        assert broker.delivered == 2
+
+    def test_late_subscriber_keeps_original_seq(self):
+        _net, broker, a, b = make(retain=3)
+        b.publish("t", b"m1")
+        b.publish("t", b"m2")
+        broker.step()
+        a.subscribe("t")
+        broker.step()
+        seqs = [s for _t, s, _p in a.poll()]
+        assert seqs == [1, 2]  # retention preserves publish-time sequence
+
+    def test_retention_does_not_duplicate_for_existing_subscriber(self):
+        _net, broker, a, b = make(retain=5)
+        a.subscribe("t")
+        broker.step()
+        b.publish("t", b"live")
+        broker.step()
+        assert [p for _t, _s, p in a.poll()] == [b"live"]
+        # re-subscribing replays the retained window - by design - but a
+        # subscriber that never re-subscribes sees each message once
+        b.publish("t", b"live2")
+        broker.step()
+        assert [p for _t, _s, p in a.poll()] == [b"live2"]
+
+
+class TestUnsubscribeWhileQueued:
+    def test_pub_before_unsub_still_delivered(self):
+        """Broker input is FIFO: messages queued before the unsub land."""
+        _net, broker, a, b = make()
+        a.subscribe("t")
+        broker.step()
+        b.publish("t", b"before")
+        a.unsubscribe("t")  # queued after the publish
+        broker.step()  # one step processes both, in order
+        assert [p for _t, _s, p in a.poll()] == [b"before"]
+
+    def test_unsub_before_pub_not_delivered(self):
+        _net, broker, a, b = make()
+        a.subscribe("t")
+        broker.step()
+        a.unsubscribe("t")
+        b.publish("t", b"after")  # queued after the unsub
+        broker.step()
+        assert a.poll() == []
+
+    def test_unsub_of_never_subscribed_topic_is_noop(self):
+        _net, broker, a, b = make()
+        a.unsubscribe("ghost")
+        broker.step()  # must not raise or create topic state
+        assert broker._subscribers.get("ghost") in (None, set())
+
+
+class TestDeadSubscriberEviction:
+    def test_dead_subscriber_does_not_starve_the_rest(self):
+        """A vanished endpoint is evicted mid-fanout; others still get it."""
+        net = InProcNetwork()
+        broker = Broker(net.endpoint("broker"))
+        a = PubSubClient(net.endpoint("a"), "broker")
+        b = PubSubClient(net.endpoint("b"), "broker")
+        a.subscribe("t")
+        b.subscribe("t")
+        broker.step()
+        # endpoint "a" disappears (process death); sends to it now fail
+        del net._endpoints["a"]
+        b.publish("t", b"still flows")
+        broker.step()  # must not raise
+        assert [p for _t, _s, p in b.poll()] == [b"still flows"]
+        assert broker.dead_subscribers == 1
+        # evicted from the topic: the next publish doesn't retry it
+        b.publish("t", b"again")
+        broker.step()
+        assert broker.dead_subscribers == 1
+
+    def test_dead_subscriber_evicted_from_all_topics(self):
+        net = InProcNetwork()
+        broker = Broker(net.endpoint("broker"))
+        a = PubSubClient(net.endpoint("a"), "broker")
+        b = PubSubClient(net.endpoint("b"), "broker")
+        a.subscribe("t1")
+        a.subscribe("t2")
+        broker.step()
+        del net._endpoints["a"]
+        b.publish("t1", b"x")
+        broker.step()
+        assert all("a" not in subs for subs in broker._subscribers.values())
+
+    def test_dead_subscriber_during_retained_catchup(self):
+        net = InProcNetwork()
+        broker = Broker(net.endpoint("broker"), retain=2)
+        a = PubSubClient(net.endpoint("a"), "broker")
+        b = PubSubClient(net.endpoint("b"), "broker")
+        b.publish("t", b"m1")
+        broker.step()
+        a.subscribe("t")
+        del net._endpoints["a"]  # dies with the sub + catch-up queued
+        broker.step()  # must not raise
+        assert broker.dead_subscribers == 1
+
+
 def deadline_poll(broker, recv):
     """Wait for one queued message to arrive at the broker (TCP latency)."""
     item = recv()

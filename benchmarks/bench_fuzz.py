@@ -1,0 +1,61 @@
+"""Throughput benchmarks for the fuzz harness itself.
+
+The campaign rate bounds what a nightly time-box buys: at N iterations
+per second, a 10-minute box sweeps ~600*N modules.  Pinning generation
+and oracle costs separately shows where a slowdown lives when that
+number regresses.
+"""
+
+import random
+
+import pytest
+
+from repro.fuzz.gen import ModuleGen
+from repro.fuzz.mutate import classify_bytes, mutate_bytes
+from repro.fuzz.oracle import differential
+from repro.fuzz.runner import _iteration_rng, run_campaign
+
+
+@pytest.mark.benchmark(group="fuzz")
+def test_module_generation_rate(benchmark):
+    counter = iter(range(10**9))
+
+    def one():
+        return ModuleGen(_iteration_rng(0, next(counter))).generate()
+
+    gm = benchmark(one)
+    assert gm.wasm[:4] == b"\x00asm"
+
+
+@pytest.mark.benchmark(group="fuzz")
+def test_differential_oracle_rate(benchmark):
+    gm = ModuleGen(_iteration_rng(1, 0)).generate()
+    result = benchmark(differential, gm.wasm, gm.calls)
+    assert result.ok, result.reason
+
+
+@pytest.mark.benchmark(group="fuzz")
+def test_mutation_classify_rate(benchmark):
+    wasm = ModuleGen(_iteration_rng(2, 0)).generate().wasm
+    rng = random.Random(0)
+
+    def one():
+        return classify_bytes(mutate_bytes(rng, wasm))
+
+    assert benchmark(one) in (
+        "ok",
+        "diverged",
+        "decode-error",
+        "validation-error",
+        "link-error",
+        "skipped-imports",
+        "skipped-huge",
+    )
+
+
+@pytest.mark.benchmark(group="fuzz")
+def test_campaign_iteration_rate(benchmark):
+    """End-to-end iterations/sec: 20-module campaigns, no corpus writes."""
+    report = benchmark(run_campaign, 7, 20, do_shrink=False)
+    assert report.executed == 20
+    assert report.ok

@@ -30,9 +30,9 @@ from repro.obs import OBS
 from repro.obs.flight import CallRecord
 from repro.sched.types import UeGrant, UeSchedInfo
 from repro.wasm import Instance, decode_module
-from repro.wasm.instance import HostFunc, Store
+from repro.wasm.instance import HostFunc, InstanceState, Store
 from repro.wasm.interpreter import ExecStats
-from repro.wasm.traps import Trap, WasmError
+from repro.wasm.traps import LinkError, Trap, WasmError
 
 
 class PluginError(RuntimeError):
@@ -180,18 +180,13 @@ class PluginHost:
         """Snapshot linear memory + mutable globals into a restorable record."""
         instance = self.instance
         assert instance is not None
-        memory = bytes(instance.memory.data) if instance.memory is not None else b""
-        mutable_globals = tuple(
-            (index, glob.value)
-            for index, glob in enumerate(instance.globals)
-            if glob.gtype.mutable
-        )
+        state = instance.capture_state()
         snapshot = PluginCheckpoint(
             plugin=self.name,
             generation=self.generation,
             module_sha256=hashlib.sha256(self.wasm_bytes).hexdigest(),
-            memory=memory,
-            globals=mutable_globals,
+            memory=state.memory,
+            globals=state.globals,
             scratch_ptr=self._scratch_ptr,
             scratch_cap=self._scratch_cap,
         )
@@ -223,15 +218,12 @@ class PluginHost:
         self._load(self.wasm_bytes)
         instance = self.instance
         assert instance is not None
-        if snapshot.memory and instance.memory is not None:
-            deficit = snapshot.memory_pages - instance.memory.size_pages
-            if deficit > 0 and instance.memory.grow(deficit) < 0:
-                raise PluginError(
-                    f"{self.name}: cannot grow memory to checkpoint size", "load"
-                )
-            instance.memory.data[: len(snapshot.memory)] = snapshot.memory
-        for index, value in snapshot.globals:
-            instance.globals[index].value = value
+        try:
+            instance.restore_state(
+                InstanceState(memory=snapshot.memory, globals=snapshot.globals)
+            )
+        except LinkError as exc:
+            raise PluginError(f"{self.name}: {exc}", "load") from exc
         self._scratch_ptr = snapshot.scratch_ptr
         self._scratch_cap = snapshot.scratch_cap
         if OBS.enabled:

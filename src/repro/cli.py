@@ -12,6 +12,8 @@ Usage (``python -m repro <command>``)::
     python -m repro obs merge w0.json w1.json          # merge metric snapshots
     python -m repro chaos --seed 42 --slots 10000      # fault-injection soak
     python -m repro scale --workers 4 --cells 8        # multi-process scale-out
+    python -m repro fuzz --seed 0 --budget 500         # differential fuzzing
+    python -m repro fuzz --replay tests/wasm/corpus    # replay the corpus
 """
 
 from __future__ import annotations
@@ -340,6 +342,75 @@ def _cmd_safety(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_fuzz(args) -> int:
+    import json
+
+    from repro.fuzz import check_case, load_case, run_campaign
+    from repro.fuzz.corpus import corpus_paths
+    from repro.wasm.threaded import ENGINES
+
+    if args.replay:
+        import os
+
+        if not os.path.exists(args.replay):
+            print(f"error: no such corpus path: {args.replay}", file=sys.stderr)
+            return 1
+        paths = (
+            corpus_paths(args.replay)
+            if os.path.isdir(args.replay)
+            else [args.replay]
+        )
+        problems: list[str] = []
+        for path in paths:
+            case = load_case(path)
+            engines = ENGINES if case.mode == "diff" else ("threaded",)
+            for engine in engines:
+                problems.extend(
+                    f"[{engine}] {p}" for p in check_case(case, engine)
+                )
+        if args.json:
+            print(json.dumps({"replayed": len(paths), "problems": problems},
+                             indent=2))
+        else:
+            print(f"replayed {len(paths)} corpus cases")
+            for problem in problems:
+                print(f"FAIL {problem}", file=sys.stderr)
+        return 1 if problems else 0
+
+    report = run_campaign(
+        args.seed,
+        args.budget,
+        mutate_ratio=args.mutate_ratio,
+        fuel=args.fuel,
+        time_box=args.time_box,
+        corpus_dir=args.corpus_dir,
+        do_shrink=not args.no_shrink,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        counts = " ".join(
+            f"{k}={v}" for k, v in sorted(report.class_counts.items())
+        )
+        print(
+            f"fuzz seed={report.seed} executed={report.executed}/"
+            f"{report.budget} generated={report.generated} "
+            f"mutated={report.mutated} elapsed={report.elapsed:.2f}s"
+        )
+        print(f"mutant classes: {counts or '(none)'}")
+        print(f"digest: {report.digest}")
+        for failure in report.failures:
+            where = f" -> {failure.corpus_path}" if failure.corpus_path else ""
+            print(
+                f"FAIL i={failure.iteration} {failure.kind}: "
+                f"{failure.detail}{where}",
+                file=sys.stderr,
+            )
+        print("no divergences, no crashes" if report.ok
+              else f"{len(report.failures)} failure(s)")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="waran", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -498,6 +569,36 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--timeout", type=float, default=600.0,
                    help="per-run worker deadline (seconds)")
     p.set_defaults(fn=_cmd_scale)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="generative differential fuzzing of the Wasm engines",
+        description="Generates seeded arbitrary-but-valid Wasm modules and "
+        "runs each under the legacy engine, the threaded engine, and a "
+        "checkpoint/restore round trip, requiring identical results, trap "
+        "codes, fuel and exec stats; a fraction of iterations corrupt the "
+        "binary instead and assert the decoder/validator reject it cleanly. "
+        "Failures are shrunk to minimal corpus reproducers.  The campaign "
+        "digest is deterministic for a given seed and budget.",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--budget", type=int, default=500,
+                   help="number of fuzz iterations")
+    p.add_argument("--time-box", type=float, default=None, metavar="SECONDS",
+                   help="stop early after this many seconds")
+    p.add_argument("--mutate-ratio", type=float, default=0.3,
+                   help="fraction of iterations that mutate instead of run")
+    p.add_argument("--fuel", type=int, default=25_000,
+                   help="per-call instruction budget")
+    p.add_argument("--corpus-dir", metavar="DIR",
+                   help="write shrunk reproducers for failures here")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="save failing cases without minimizing them")
+    p.add_argument("--replay", metavar="PATH",
+                   help="replay a corpus case file or directory and exit")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON")
+    p.set_defaults(fn=_cmd_fuzz)
 
     args = parser.parse_args(argv)
     try:

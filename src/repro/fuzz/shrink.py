@@ -1,0 +1,146 @@
+"""Reproducer minimization.
+
+Given a failing fuzz case (module bytes + call plan) and a predicate that
+re-checks the failure, shrink both dimensions while the predicate stays
+true:
+
+1. drop calls from the plan (greedy one-at-a-time);
+2. simplify the module — replace whole function bodies with a trivial
+   body, drop data/element segments and globals, and delete instruction
+   windows of shrinking size.
+
+Every module candidate is re-validated before the predicate runs, so the
+shrinker only ever proposes *valid* modules (for divergence findings the
+failure is about execution, not decoding).  The total number of predicate
+evaluations is budgeted — shrinking is best-effort, never the long pole
+of a campaign.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.oracle import CallPlan
+from repro.wasm import opcodes as op
+from repro.wasm.decoder import decode_module
+from repro.wasm.encoder import encode_module
+from repro.wasm.module import Code, Module
+from repro.wasm.validator import validate_module
+from repro.wasm.wtypes import ValType
+
+_TRIVIAL_RESULT = {
+    ValType.I32: (op.I32_CONST, 0),
+    ValType.I64: (op.I64_CONST, 0),
+    ValType.F32: (op.F32_CONST, 0.0),
+    ValType.F64: (op.F64_CONST, 0.0),
+}
+
+
+def _trivial_body(module: Module, type_index: int) -> tuple:
+    results = module.types[type_index].results
+    body = tuple(_TRIVIAL_RESULT[t] for t in results)
+    return body + ((op.END, None),)
+
+
+def _clone(module: Module) -> Module:
+    return Module(
+        types=list(module.types),
+        imports=list(module.imports),
+        funcs=list(module.funcs),
+        tables=list(module.tables),
+        mems=list(module.mems),
+        globals=list(module.globals),
+        exports=list(module.exports),
+        start=module.start,
+        elems=list(module.elems),
+        codes=list(module.codes),
+        datas=list(module.datas),
+    )
+
+
+def _encode_if_valid(module: Module) -> bytes | None:
+    try:
+        validate_module(module)
+    except Exception:  # noqa: BLE001 - invalid candidate, skip it
+        return None
+    return encode_module(module)
+
+
+def shrink(
+    wasm: bytes,
+    calls: CallPlan,
+    still_fails,
+    max_checks: int = 400,
+) -> tuple[bytes, CallPlan]:
+    """Minimize ``(wasm, calls)`` under ``still_fails(wasm, calls) -> bool``.
+
+    Returns the smallest failing pair found within the evaluation budget.
+    The input pair is assumed to fail; if the predicate is flaky the
+    original pair is returned unchanged.
+    """
+    checks = [0]
+
+    def fails(candidate_wasm: bytes, candidate_calls: CallPlan) -> bool:
+        if checks[0] >= max_checks:
+            return False
+        checks[0] += 1
+        try:
+            return bool(still_fails(candidate_wasm, candidate_calls))
+        except Exception:  # noqa: BLE001 - crash findings also count
+            return True
+
+    if not fails(wasm, calls):
+        return wasm, calls
+
+    # -- 1: drop calls -------------------------------------------------------
+    i = 0
+    while i < len(calls) and len(calls) > 1:
+        candidate = calls[:i] + calls[i + 1 :]
+        if fails(wasm, candidate):
+            calls = candidate
+        else:
+            i += 1
+
+    # -- 2: simplify the module ---------------------------------------------
+    module = decode_module(wasm)
+
+    # 2a: trivialize whole function bodies
+    for fi in range(len(module.codes)):
+        candidate = _clone(module)
+        candidate.codes[fi] = Code(
+            (), _trivial_body(module, module.funcs[fi])
+        )
+        enc = _encode_if_valid(candidate)
+        if enc is not None and fails(enc, calls):
+            module, wasm = candidate, enc
+
+    # 2b: drop data segments, element segments + table, and globals
+    for strip in ("datas", "elems", "globals"):
+        candidate = _clone(module)
+        setattr(candidate, strip, [])
+        if strip == "elems":
+            candidate.tables = []
+        enc = _encode_if_valid(candidate)
+        if enc is not None and fails(enc, calls):
+            module, wasm = candidate, enc
+
+    # 2c: delete instruction windows (largest first), re-validating each
+    for window in (16, 8, 4, 2, 1):
+        for fi in range(len(module.codes)):
+            start = 0
+            while start < len(module.codes[fi].body) - 1:
+                body = module.codes[fi].body
+                if start + window >= len(body):  # never delete the final end
+                    break
+                candidate = _clone(module)
+                candidate.codes[fi] = Code(
+                    module.codes[fi].locals,
+                    body[:start] + body[start + window :],
+                )
+                enc = _encode_if_valid(candidate)
+                if enc is not None and fails(enc, calls):
+                    module, wasm = candidate, enc
+                else:
+                    start += 1
+                if checks[0] >= max_checks:
+                    return wasm, calls
+
+    return wasm, calls

@@ -22,7 +22,7 @@ Public entry points:
 
 from repro.wasm.decoder import decode_module
 from repro.wasm.encoder import encode_module
-from repro.wasm.instance import HostFunc, Instance, Store
+from repro.wasm.instance import HostFunc, Instance, InstanceState, Store
 from repro.wasm.interpreter import ExecStats
 from repro.wasm.module import Module
 from repro.wasm.traps import (
@@ -40,6 +40,7 @@ __all__ = [
     "validate_module",
     "Module",
     "Instance",
+    "InstanceState",
     "Store",
     "HostFunc",
     "ExecStats",

@@ -123,6 +123,24 @@ def _normalize_arg(value, valtype: ValType):
     return float(value)
 
 
+@dataclass(frozen=True)
+class InstanceState:
+    """A restorable snapshot of one instance's mutable Wasm-level state.
+
+    Captures linear memory and mutable globals — everything a deterministic
+    module's behaviour depends on between calls.  Host-level bookkeeping
+    (e.g. the plugin scratch region) lives one layer up, in
+    :class:`repro.abi.host.PluginCheckpoint`, which wraps this.
+    """
+
+    memory: bytes
+    globals: tuple[tuple[int, Any], ...]  # (index, value), mutable only
+
+    @property
+    def memory_pages(self) -> int:
+        return len(self.memory) // 65536
+
+
 class Instance:
     """One instantiated module.
 
@@ -246,6 +264,37 @@ class Instance:
 
         if module.start is not None:
             self.invoke_index(module.start, [], 0)
+
+    # ----- state snapshot (checkpoint/restore) -------------------------
+
+    def capture_state(self) -> InstanceState:
+        """Snapshot linear memory and mutable globals."""
+        memory = bytes(self.memory.data) if self.memory is not None else b""
+        mutable = tuple(
+            (index, glob.value)
+            for index, glob in enumerate(self.globals)
+            if glob.gtype.mutable
+        )
+        return InstanceState(memory=memory, globals=mutable)
+
+    def restore_state(self, state: InstanceState) -> None:
+        """Write a snapshot back into this instance.
+
+        Intended for a *fresh* instance of the same module: memory is grown
+        to the snapshot size if needed and overwritten, mutable globals are
+        replaced.  Raises :class:`LinkError` if memory cannot reach the
+        snapshot size (limits mismatch — snapshot from a different module).
+        """
+        if state.memory and self.memory is not None:
+            deficit = state.memory_pages - self.memory.size_pages
+            if deficit > 0 and self.memory.grow(deficit) < 0:
+                raise LinkError(
+                    f"cannot grow memory to snapshot size "
+                    f"({state.memory_pages} pages)"
+                )
+            self.memory.data[: len(state.memory)] = state.memory
+        for index, value in state.globals:
+            self.globals[index].value = value
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,54 @@
+"""Tests for the `repro fuzz` CLI: campaign mode and corpus replay."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+CORPUS_DIR = str(Path(__file__).parent / "wasm" / "corpus")
+
+
+class TestCampaign:
+    def test_small_campaign_passes(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--budget", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "digest:" in out
+        assert "no divergences, no crashes" in out
+
+    def test_json_output_and_determinism(self, capsys):
+        assert main(["fuzz", "--seed", "3", "--budget", "40", "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["fuzz", "--seed", "3", "--budget", "40", "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["digest"] == second["digest"]
+        assert first["executed"] == 40
+        assert first["failures"] == []
+
+    def test_time_box_zero_executes_nothing(self, capsys):
+        assert (
+            main(["fuzz", "--seed", "0", "--budget", "40", "--time-box", "0", "--json"])
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["executed"] == 0
+
+
+class TestReplay:
+    def test_replay_shipped_corpus(self, capsys):
+        assert main(["fuzz", "--replay", CORPUS_DIR]) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out and "corpus cases" in out
+
+    def test_replay_single_file(self, capsys):
+        path = sorted(Path(CORPUS_DIR).glob("*.json"))[0]
+        assert main(["fuzz", "--replay", str(path)]) == 0
+
+    def test_replay_catches_stale_expectation(self, tmp_path, capsys):
+        case = json.loads(
+            (Path(CORPUS_DIR) / "loop-sum.json").read_text()
+        )
+        case["expect"][0][1] = 123456789  # wrong on purpose
+        broken = tmp_path / "stale.json"
+        broken.write_text(json.dumps(case))
+        assert main(["fuzz", "--replay", str(broken)]) == 1
+        assert "expected" in capsys.readouterr().err

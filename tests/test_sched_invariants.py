@@ -1,0 +1,226 @@
+"""Property-style invariant tests for the native schedulers.
+
+Three families of invariants, each checked over randomized traffic:
+
+- **capacity/validity** — every intra-slice scheduler's output passes the
+  gNB-side :func:`validate_grants` check and never over-allocates;
+- **starvation** — RR serves every backlogged UE within ``n`` slots, PF
+  with throughput feedback serves everyone eventually, MT starves the
+  worst channel by design (the Fig. 5b phase-one behaviour);
+- **conservation** — draining a finite backlog delivers exactly the bytes
+  that were buffered, and inter-slice allocators never hand out more PRBs
+  than the carrier has.
+"""
+
+import random
+
+import pytest
+
+from repro.phy.tbs import transport_block_size_bits
+from repro.sched.inter import (
+    FixedShareInterSlice,
+    PriorityInterSlice,
+    TargetRateInterSlice,
+)
+from repro.sched.intra import (
+    DEMAND_CAP_PRBS,
+    make_intra_scheduler,
+    prbs_for_bytes,
+)
+from repro.sched.types import UeSchedInfo, validate_grants
+
+INTRA_POLICIES = ("rr", "pf", "mt")
+
+
+def random_ues(rng: random.Random, n: int) -> list[UeSchedInfo]:
+    return [
+        UeSchedInfo(
+            ue_id=i,
+            mcs=rng.randint(0, 28),
+            cqi=rng.randint(0, 15),
+            buffer_bytes=rng.choice([0, rng.randint(1, 200_000)]),
+            avg_tput_bps=rng.uniform(1.0, 5e7),
+        )
+        for i in range(n)
+    ]
+
+
+class TestPrbsForBytes:
+    def test_zero_bytes_zero_prbs(self):
+        assert prbs_for_bytes(0, 10) == 0
+
+    @pytest.mark.parametrize("mcs", [0, 5, 14, 28])
+    def test_result_is_minimal_sufficient(self, mcs):
+        for nbytes in (1, 17, 400, 12_000):
+            n = prbs_for_bytes(nbytes, mcs)
+            if n >= DEMAND_CAP_PRBS:
+                continue
+            assert transport_block_size_bits(n, mcs) >= nbytes * 8
+            if n > 1:
+                assert transport_block_size_bits(n - 1, mcs) < nbytes * 8
+
+    def test_monotonic_in_bytes(self):
+        prev = 0
+        for nbytes in range(0, 5000, 250):
+            cur = prbs_for_bytes(nbytes, 10)
+            assert cur >= prev
+            prev = cur
+
+    def test_saturates_at_cap(self):
+        assert prbs_for_bytes(10**9, 0) == DEMAND_CAP_PRBS
+
+
+class TestGrantValidity:
+    @pytest.mark.parametrize("policy", INTRA_POLICIES)
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_traffic_always_validates(self, policy, seed):
+        rng = random.Random(seed)
+        sched = make_intra_scheduler(policy)
+        for slot in range(30):
+            ues = random_ues(rng, rng.randint(1, 12))
+            prbs = rng.randint(0, 100)
+            grants = sched.schedule(prbs, ues, slot)
+            validate_grants(grants, prbs, ues)  # raises on any violation
+            assert sum(g.prbs for g in grants) <= prbs
+            backlogged = {u.ue_id for u in ues if u.buffer_bytes > 0}
+            assert {g.ue_id for g in grants} <= backlogged
+
+    @pytest.mark.parametrize("policy", INTRA_POLICIES)
+    def test_no_grants_without_demand_or_capacity(self, policy):
+        sched = make_intra_scheduler(policy)
+        idle = [UeSchedInfo(0, 10, 8, 0, 1e6)]
+        busy = [UeSchedInfo(0, 10, 8, 5000, 1e6)]
+        assert sched.schedule(50, idle, 0) == []
+        assert sched.schedule(0, busy, 0) == []
+
+
+class TestStarvation:
+    def test_rr_bounded_starvation(self):
+        """With n backlogged UEs, RR serves every UE within n slots."""
+        n_ues, prbs, slots = 8, 3, 100
+        sched = make_intra_scheduler("rr")
+        last_served = {i: -1 for i in range(n_ues)}
+        worst_gap = 0
+        for slot in range(slots):
+            ues = [UeSchedInfo(i, 10, 8, 100_000, 1e6) for i in range(n_ues)]
+            for grant in sched.schedule(prbs, ues, slot):
+                gap = slot - last_served[grant.ue_id]
+                worst_gap = max(worst_gap, gap)
+                last_served[grant.ue_id] = slot
+        assert all(s >= 0 for s in last_served.values()), "some UE never served"
+        assert worst_gap <= n_ues
+        # the tail matters too: nobody has been waiting > n slots at the end
+        assert all(slots - s <= n_ues for s in last_served.values())
+
+    def test_pf_with_feedback_serves_everyone(self):
+        """PF + EWMA throughput feedback never starves a UE for long."""
+        mcs_levels = [28, 20, 10, 4]
+        sched = make_intra_scheduler("pf")
+        avg = {i: 1.0 for i in range(len(mcs_levels))}
+        served_slots = {i: 0 for i in range(len(mcs_levels))}
+        for slot in range(300):
+            ues = [
+                UeSchedInfo(i, m, 8, 100_000, avg[i])
+                for i, m in enumerate(mcs_levels)
+            ]
+            grants = {g.ue_id: g.prbs for g in sched.schedule(10, ues, slot)}
+            for i, m in enumerate(mcs_levels):
+                bits = transport_block_size_bits(grants.get(i, 0), m) if grants.get(i, 0) else 0
+                avg[i] = 0.99 * avg[i] + 0.01 * bits * 1000.0
+                if grants.get(i, 0) > 0:
+                    served_slots[i] += 1
+        assert all(count >= 10 for count in served_slots.values()), served_slots
+
+    def test_mt_starves_worst_channel_by_design(self):
+        """MT gives everything to the best channel — the inverse property."""
+        sched = make_intra_scheduler("mt")
+        bad_served = 0
+        for slot in range(100):
+            ues = [
+                UeSchedInfo(0, 28, 15, 10**6, 1e6),
+                UeSchedInfo(1, 5, 3, 10**6, 1e6),
+            ]
+            grants = {g.ue_id: g.prbs for g in sched.schedule(20, ues, slot)}
+            bad_served += grants.get(1, 0)
+        assert bad_served == 0
+
+
+class TestConservation:
+    @pytest.mark.parametrize("policy", INTRA_POLICIES)
+    def test_drain_delivers_exactly_the_backlog(self, policy):
+        """Simulated drain: served bytes == initial buffered bytes."""
+        rng = random.Random(42)
+        buffers = {i: rng.randint(1_000, 60_000) for i in range(6)}
+        mcs = {i: rng.randint(4, 28) for i in range(6)}
+        initial = sum(buffers.values())
+        sched = make_intra_scheduler(policy)
+        delivered = 0
+        for slot in range(3_000):
+            if all(b == 0 for b in buffers.values()):
+                break
+            ues = [
+                UeSchedInfo(i, mcs[i], 8, buffers[i], 1e6)
+                for i in range(6)
+            ]
+            for grant in sched.schedule(8, ues, slot):
+                capacity = transport_block_size_bits(grant.prbs, mcs[grant.ue_id]) // 8
+                chunk = min(buffers[grant.ue_id], capacity)
+                buffers[grant.ue_id] -= chunk
+                delivered += chunk
+        assert all(b == 0 for b in buffers.values()), "drain did not finish"
+        assert delivered == initial
+
+
+class TestInterSliceCapacity:
+    def _random_slice_ues(self, rng, n_slices=3):
+        return {
+            sid: random_ues(rng, rng.randint(0, 6)) for sid in range(n_slices)
+        }
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_fixed_share_never_overallocates(self, seed):
+        rng = random.Random(seed)
+        sched = FixedShareInterSlice({0: 0.5, 1: 0.3, 2: 0.2})
+        for slot in range(20):
+            slice_ues = self._random_slice_ues(rng)
+            total = rng.randint(1, 100)
+            alloc = sched.allocate(total, slice_ues, slot)
+            assert sum(alloc.values()) <= total
+            assert all(v >= 0 for v in alloc.values())
+            assert set(alloc) <= set(slice_ues)
+
+    @pytest.mark.parametrize("work_conserving", [False, True])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_target_rate_never_overallocates(self, seed, work_conserving):
+        rng = random.Random(seed)
+        sched = TargetRateInterSlice(
+            {0: 3e6, 1: 12e6, 2: 15e6}, work_conserving=work_conserving
+        )
+        for slot in range(50):
+            slice_ues = self._random_slice_ues(rng)
+            total = rng.randint(1, 100)
+            alloc = sched.allocate(total, slice_ues, slot)
+            assert sum(alloc.values()) <= total
+            assert all(v >= 0 for v in alloc.values())
+            for sid, prbs in alloc.items():
+                sched.notify_delivery(
+                    sid, transport_block_size_bits(prbs, 10) // 8 if prbs else 0
+                )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_priority_never_overallocates_and_respects_order(self, seed):
+        rng = random.Random(seed)
+        sched = PriorityInterSlice({0: 2, 1: 1, 2: 0})
+        for slot in range(20):
+            slice_ues = self._random_slice_ues(rng)
+            total = rng.randint(1, 60)
+            alloc = sched.allocate(total, slice_ues, slot)
+            assert sum(alloc.values()) <= total
+            assert all(v >= 0 for v in alloc.values())
+
+    def test_priority_highest_takes_what_it_needs_first(self):
+        heavy = [UeSchedInfo(0, 10, 8, 10**6, 1e6)]
+        light = [UeSchedInfo(1, 10, 8, 10**6, 1e6)]
+        sched = PriorityInterSlice({0: 1, 1: 2})
+        alloc = sched.allocate(10, {0: heavy, 1: light}, 0)
+        assert alloc[1] == 10 and alloc[0] == 0

@@ -1,0 +1,42 @@
+"""Replay every corpus reproducer under every engine.
+
+The corpus under ``tests/wasm/corpus/`` is the fuzzer's long-term memory:
+each JSON file is a minimized module plus a call plan and the outcomes the
+legacy (reference) engine produced when the case was saved.  Any engine
+change that shifts an outcome — a value, a trap code — fails here first.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import check_case, corpus_paths, load_case
+from repro.wasm import decode_module, encode_module
+from repro.wasm.threaded import ENGINES
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CASES = corpus_paths(CORPUS_DIR)
+
+
+def test_corpus_is_seeded():
+    assert len(CASES) >= 20, "corpus should ship with ~20 seed cases"
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_replay(path, engine):
+    case = load_case(path)
+    problems = check_case(case, engine)
+    assert problems == []
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_case_wellformed(path):
+    case = load_case(path)
+    assert case.name
+    assert case.mode in ("diff", "classify")
+    if case.mode == "diff":
+        assert len(case.calls) == len(case.expect)
+        # diff cases must be decodable; classify cases may be garbage bytes
+        module = decode_module(case.wasm)
+        assert encode_module(module) == encode_module(decode_module(encode_module(module)))

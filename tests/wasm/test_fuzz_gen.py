@@ -1,0 +1,112 @@
+"""The generative fuzzer's own contract: validity, determinism, round-trips.
+
+The generator is the foundation the differential oracle stands on — if it
+ever emits an invalid module, every downstream "the engines agree" claim
+is vacuous for the inputs that matter.  These tests pin down:
+
+- every generated module validates AND instantiates under both engines;
+- generation is a pure function of the seed;
+- generated binaries survive ``decode -> encode`` byte-identically (the
+  encoder/decoder round-trip property, satellite of the fuzz PR);
+- the call plan only names real exports with correctly-typed arguments.
+"""
+
+import random
+
+import pytest
+
+from repro.fuzz.gen import GenConfig, ModuleGen
+from repro.fuzz.runner import _iteration_rng
+from repro.wasm import Instance, Store, decode_module, encode_module, validate_module
+from repro.wasm.wtypes import ValType
+
+N_SEEDS = 40
+
+
+def gen(seed: int, config: GenConfig | None = None):
+    return ModuleGen(_iteration_rng(seed, 0), config).generate()
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(N_SEEDS))
+    def test_generated_module_validates_and_instantiates(self, seed):
+        gm = gen(seed)
+        module = decode_module(gm.wasm)
+        validate_module(module)
+        for engine in ("legacy", "threaded"):
+            instance = Instance(module, store=Store(), engine=engine)
+            assert instance.export_names()
+
+    def test_exports_cover_every_function(self):
+        gm = gen(3)
+        module = decode_module(gm.wasm)
+        names = {e.name for e in module.exports if e.kind == "func"}
+        assert names == {f"f{i}" for i in range(len(module.funcs))}
+
+    @pytest.mark.parametrize("seed", range(N_SEEDS))
+    def test_call_plan_matches_signatures(self, seed):
+        gm = gen(seed)
+        module = decode_module(gm.wasm)
+        exports = module.export_map()
+        assert gm.calls, "generator must produce a non-empty call plan"
+        for name, args in gm.calls:
+            export = exports[name]
+            functype = module.func_type(export.index)
+            assert len(args) == len(functype.params)
+            for arg, param in zip(args, functype.params):
+                if param in (ValType.I32, ValType.I64):
+                    assert isinstance(arg, int)
+                else:
+                    assert isinstance(arg, float)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_same_seed_same_module_and_plan(self, seed):
+        a = gen(seed)
+        b = gen(seed)
+        assert a.wasm == b.wasm
+        assert repr(a.calls) == repr(b.calls)
+
+    def test_different_seeds_differ(self):
+        # not guaranteed in principle, but 0 vs 1 colliding would mean the
+        # seed isn't reaching the generator at all
+        assert gen(0).wasm != gen(1).wasm
+
+    def test_iteration_rng_is_position_independent(self):
+        # iteration 5's rng must not depend on iterations 0-4 having run
+        a = ModuleGen(_iteration_rng(9, 5)).generate()
+        for i in range(5):
+            ModuleGen(_iteration_rng(9, i)).generate()
+        b = ModuleGen(_iteration_rng(9, 5)).generate()
+        assert a.wasm == b.wasm
+
+
+class TestEncodeDecodeRoundTrip:
+    @pytest.mark.parametrize("seed", range(N_SEEDS))
+    def test_reencode_is_byte_identical(self, seed):
+        """decode(encode(m)) re-encodes to the same bytes (fixpoint)."""
+        wasm = gen(seed).wasm
+        assert encode_module(decode_module(wasm)) == wasm
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_double_roundtrip_stable(self, seed):
+        wasm = gen(seed).wasm
+        once = encode_module(decode_module(wasm))
+        twice = encode_module(decode_module(once))
+        assert once == twice
+
+
+class TestConfig:
+    def test_config_bounds_function_count(self):
+        config = GenConfig(max_funcs=1, max_calls=2)
+        for seed in range(10):
+            gm = ModuleGen(random.Random(seed), config).generate()
+            module = decode_module(gm.wasm)
+            assert len(module.funcs) == 1
+            assert len(gm.calls) <= 2
+
+    def test_wild_addresses_can_be_disabled(self):
+        config = GenConfig(p_wild_addr=0.0, p_wild_select=0.0)
+        gm = ModuleGen(random.Random(5), config).generate()
+        validate_module(decode_module(gm.wasm))

@@ -1,0 +1,83 @@
+"""Mutation-mode tests: corrupted binaries never crash the host.
+
+``classify_bytes`` must sort every byte string into the WasmError taxonomy
+(or run it cleanly); an ``IndexError`` from the LEB reader or a
+``MemoryError`` from an attacker-sized allocation is exactly the bug class
+this mode exists to catch, surfaced as :class:`MutationCrash`.
+"""
+
+import random
+
+import pytest
+
+from repro.fuzz.gen import ModuleGen
+from repro.fuzz.mutate import (
+    MAX_MUTANT_MEMORY_PAGES,
+    classify_bytes,
+    mutate_bytes,
+)
+from repro.fuzz.runner import _iteration_rng
+from repro.wasm import decode_module, encode_module
+from repro.wasm.wat import assemble
+from repro.wasm.wtypes import Limits
+
+KNOWN_CLASSES = {
+    "ok",
+    "diverged",
+    "decode-error",
+    "validation-error",
+    "link-error",
+    "skipped-imports",
+    "skipped-huge",
+}
+
+N_SEEDS = 40
+
+
+class TestClassification:
+    @pytest.mark.parametrize("seed", range(N_SEEDS))
+    def test_mutants_classify_without_crashing(self, seed):
+        rng = _iteration_rng(seed, 2)
+        gm = ModuleGen(rng).generate()
+        for _ in range(5):
+            verdict = classify_bytes(mutate_bytes(rng, gm.wasm))
+            assert verdict in KNOWN_CLASSES
+
+    def test_pristine_module_is_ok(self):
+        gm = ModuleGen(random.Random(4)).generate()
+        assert classify_bytes(gm.wasm) == "ok"
+
+    def test_empty_bytes_decode_error(self):
+        assert classify_bytes(b"") == "decode-error"
+
+    def test_bad_magic_decode_error(self):
+        assert classify_bytes(b"\x01asm\x01\x00\x00\x00") == "decode-error"
+
+    def test_truncated_module_decode_error(self):
+        wasm = assemble('(module (func (export "f") (result i32) (i32.const 1)))')
+        assert classify_bytes(wasm[: len(wasm) // 2]) == "decode-error"
+
+    def test_garbage_suffix_classified(self):
+        wasm = assemble('(module (func (export "f") (result i32) (i32.const 1)))')
+        assert classify_bytes(wasm + b"\xff\xff\xff") in KNOWN_CLASSES
+
+    def test_huge_memory_declaration_is_skipped_not_allocated(self):
+        module = decode_module(
+            assemble('(module (memory 1) (func (export "f")))')
+        )
+        module.mems = [Limits(MAX_MUTANT_MEMORY_PAGES + 1, None)]
+        assert classify_bytes(encode_module(module)) == "skipped-huge"
+
+
+class TestMutator:
+    def test_deterministic_for_same_rng_state(self):
+        wasm = ModuleGen(random.Random(0)).generate().wasm
+        a = mutate_bytes(random.Random(9), wasm)
+        b = mutate_bytes(random.Random(9), wasm)
+        assert a == b
+
+    def test_usually_changes_the_bytes(self):
+        wasm = ModuleGen(random.Random(0)).generate().wasm
+        rng = random.Random(1)
+        changed = sum(mutate_bytes(rng, wasm) != wasm for _ in range(20))
+        assert changed >= 18

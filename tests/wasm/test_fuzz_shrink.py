@@ -1,0 +1,72 @@
+"""Shrinker tests: failing cases reduce while preserving the failure."""
+
+from repro.fuzz.shrink import shrink
+from repro.wasm import Instance, Store, decode_module
+from repro.wasm.traps import Trap
+from repro.wasm.wat import assemble
+
+WAT_THREE_FUNCS = """(module (memory 1)
+  (func (export "f0") (param i32 i32) (result i32)
+    (i32.add (local.get 0) (i32.mul (local.get 1) (i32.const 3))))
+  (func (export "f1") (param i32 i32) (result i32)
+    (i32.div_s (local.get 0) (local.get 1)))
+  (func (export "f2") (param f64) (result f64)
+    (f64.sqrt (f64.mul (local.get 0) (local.get 0)))))"""
+
+
+def traps_div0(wasm: bytes, calls) -> bool:
+    """The 'failure' property for these tests: some call traps with div0."""
+    instance = Instance(decode_module(wasm), store=Store())
+    for name, args in calls:
+        try:
+            instance.call(name, *args, fuel=10_000)
+        except Trap as trap:
+            if trap.code == "div0":
+                return True
+    return False
+
+
+class TestShrink:
+    def test_minimizes_call_plan_to_single_trigger(self):
+        wasm = assemble(WAT_THREE_FUNCS)
+        calls = [
+            ("f0", (1, 2)),
+            ("f2", (4.0,)),
+            ("f1", (10, 0)),  # the only failing call
+            ("f0", (3, 4)),
+            ("f2", (9.0,)),
+        ]
+        small_wasm, small_calls = shrink(wasm, calls, traps_div0)
+        assert small_calls == [("f1", (10, 0))]
+        assert traps_div0(small_wasm, small_calls)
+        assert len(small_wasm) <= len(wasm)
+
+    def test_trivializes_unrelated_function_bodies(self):
+        wasm = assemble(WAT_THREE_FUNCS)
+        calls = [("f1", (10, 0))]
+        small_wasm, small_calls = shrink(wasm, calls, traps_div0)
+        module = decode_module(small_wasm)
+        # f0/f2 are not needed to reproduce; their bodies collapse
+        assert len(module.codes[0].body) < len(
+            decode_module(wasm).codes[0].body
+        )
+        assert traps_div0(small_wasm, small_calls)
+
+    def test_non_failing_input_returned_unchanged(self):
+        wasm = assemble(WAT_THREE_FUNCS)
+        calls = [("f0", (1, 2))]
+        out_wasm, out_calls = shrink(wasm, calls, traps_div0)
+        assert out_wasm == wasm
+        assert out_calls == calls
+
+    def test_respects_check_budget(self):
+        wasm = assemble(WAT_THREE_FUNCS)
+        calls = [("f1", (10, 0))] * 4
+        evaluations = [0]
+
+        def counting(w, c):
+            evaluations[0] += 1
+            return traps_div0(w, c)
+
+        shrink(wasm, calls, counting, max_checks=10)
+        assert evaluations[0] <= 10

@@ -92,3 +92,65 @@ class TestSigned:
     def test_roundtrip_s64(self, value):
         data = leb128.encode_s(value)
         assert leb128.decode_s(data, 0, 64) == (value, len(data))
+
+
+class TestEncodingProperties:
+    """Stronger properties the round-trips alone don't pin down."""
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_unsigned_encoding_is_shortest_form(self, value):
+        data = leb128.encode_u(value)
+        # exactly ceil(bit_length / 7) bytes, minimum 1
+        expected = max(1, -(-value.bit_length() // 7))
+        assert len(data) == expected
+        # the final byte never has the continuation bit; all others do
+        assert data[-1] & 0x80 == 0
+        assert all(b & 0x80 for b in data[:-1])
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_signed_encoding_is_shortest_form(self, value):
+        data = leb128.encode_s(value)
+        # signed LEB needs bit_length+1 bits (room for the sign bit)
+        bits = (value.bit_length() if value >= 0 else (value + 1).bit_length()) + 1
+        assert len(data) == max(1, -(-bits // 7))
+        assert data[-1] & 0x80 == 0
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_unsigned_encoding_is_order_preserving_in_length(self, value):
+        # longer encodings always mean strictly larger magnitudes
+        data = leb128.encode_u(value)
+        if len(data) > 1:
+            assert value >= 1 << (7 * (len(data) - 1))
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+    )
+    def test_unsigned_concatenation_decodes_in_sequence(self, a, b):
+        data = leb128.encode_u(a) + leb128.encode_u(b)
+        first, offset = leb128.decode_u(data, 0, 32)
+        second, end = leb128.decode_u(data, offset, 32)
+        assert (first, second) == (a, b)
+        assert end == len(data)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_padded_unsigned_decodes_to_same_value(self, value):
+        # non-canonical (zero-padded) encodings are accepted while the
+        # total width still fits 32 bits -- the spec permits them
+        data = leb128.encode_u(value)
+        if len(data) >= 5:
+            return
+        padded = bytes([data[i] | 0x80 for i in range(len(data))]) + b"\x00"
+        decoded, length = leb128.decode_u(padded, 0, 32)
+        assert decoded == value
+        assert length == len(padded)
+
+    @given(st.binary(max_size=12))
+    def test_decoder_never_crashes_on_arbitrary_bytes(self, data):
+        for decoder in (leb128.decode_u, leb128.decode_s):
+            try:
+                value, length = decoder(data, 0, 32)
+            except DecodeError:
+                continue
+            assert 0 < length <= len(data)
+            assert isinstance(value, int)

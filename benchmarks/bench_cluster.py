@@ -64,8 +64,22 @@ def test_cluster_scaling_sweep(benchmark):
         if by_workers[1]["slot_rate"]
         else 0.0
     )
+
+    # one traced run at max workers: the distributed-tracing layer names
+    # the segment responsible for the p99 the sweep just measured
+    from dataclasses import replace
+
+    from repro.cluster import run_cluster
+
+    traced = run_cluster(
+        replace(SPEC, workers=max(WORKER_COUNTS), trace=True)
+    )
+    attribution = traced.attribution
+    print(f"\np99 attribution ({max(WORKER_COUNTS)} workers): "
+          f"dominant={attribution.get('dominant')}")
+
     doc = {
-        "schema": "waran-bench-cluster/1",
+        "schema": "waran-bench-cluster/2",
         "spec": SPEC.to_json(),
         "worker_counts": list(WORKER_COUNTS),
         "cpu_count": os.cpu_count(),
@@ -73,6 +87,8 @@ def test_cluster_scaling_sweep(benchmark):
         "speedup_1_to_max": round(speedup, 2),
         "bytes_digest": reports[0].bytes_digest,
         "fault_digest": reports[0].fault_digest,
+        "attribution": attribution,
+        "trace_digest": traced.trace_digest,
     }
     BENCH_CLUSTER_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     print(f"\n1->{max(WORKER_COUNTS)} workers speedup: x{speedup:.2f} "

@@ -1,0 +1,97 @@
+"""Tracing overhead - the disabled path must stay within noise.
+
+Two contracts, both gated by ``WARAN_PERF_GATE`` /
+``WARAN_PERF_GATE_TOLERANCE`` (the same knobs as the plugin-call perf
+gate in :mod:`benchmarks.conftest`):
+
+1. **Disabled-site cost**: ``tracer.span()`` on a disabled tracer is one
+   branch returning the shared null span.  Per instrumented site that
+   must cost well under a microsecond, or sprinkling spans through the
+   hot path (gnb.step, net.send, uplink.flush, ...) would tax every
+   *untraced* run - the observability layer's core promise is that off
+   means off.
+2. **Trace-feature cost**: a ``trace=True`` cluster run (span shipping,
+   stitching, attribution) must stay within the gate tolerance of the
+   identical untraced run - tracing is a diagnostic you can afford to
+   leave on.
+"""
+
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import Tracer
+
+GATE_ENV = "WARAN_PERF_GATE"
+TOLERANCE = float(os.environ.get("WARAN_PERF_GATE_TOLERANCE", "1.25"))
+
+#: disabled span() call budget per site; generous for a pure-Python
+#: interpreter on a shared runner, tightened/loosened by the gate knob
+DISABLED_SITE_BUDGET_US = 1.0
+
+
+def _gate_off() -> bool:
+    return os.environ.get(GATE_ENV, "").lower() in ("off", "0", "false")
+
+
+@pytest.mark.benchmark(group="trace-overhead")
+def test_disabled_span_site_cost(benchmark):
+    tracer = Tracer(enabled=False)
+    n = 10_000
+
+    def hot_loop() -> float:
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with tracer.span("site"):
+                pass
+        return time.perf_counter() - t0
+
+    elapsed = benchmark.pedantic(hot_loop, rounds=5, iterations=1)
+    per_site_us = elapsed / n * 1e6
+    print(f"\ndisabled span site: {per_site_us:.3f}us/site")
+    assert not tracer.finished(), "disabled tracer must record nothing"
+    if not _gate_off():
+        budget = DISABLED_SITE_BUDGET_US * TOLERANCE
+        assert per_site_us <= budget, (
+            f"disabled tracer.span() costs {per_site_us:.3f}us/site "
+            f"(> {budget:.2f}us): the off-path is no longer one branch"
+        )
+
+
+@pytest.mark.benchmark(group="trace-overhead")
+def test_traced_cluster_within_gate_tolerance(benchmark):
+    from repro.cluster import ClusterSpec, run_cluster
+
+    spec = ClusterSpec(
+        workers=2, cells=4, ues=8, slots=60, seed=7, mode="inline"
+    )
+
+    def pair():
+        t0 = time.perf_counter()
+        plain = run_cluster(spec)
+        t_plain = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        traced = run_cluster(replace(spec, trace=True))
+        t_traced = time.perf_counter() - t0
+        return plain, traced, t_plain, t_traced
+
+    plain, traced, t_plain, t_traced = benchmark.pedantic(
+        pair, rounds=1, iterations=1
+    )
+    # tracing must not change results, only explain them
+    assert traced.bytes_digest == plain.bytes_digest
+    assert traced.fault_digest == plain.fault_digest
+    assert traced.attribution["dominant"]
+    ratio = t_traced / t_plain if t_plain else 1.0
+    print(
+        f"\ncluster run: plain {t_plain:.2f}s, traced {t_traced:.2f}s "
+        f"(x{ratio:.2f})"
+    )
+    if not _gate_off():
+        assert ratio <= TOLERANCE, (
+            f"trace=True costs x{ratio:.2f} over the untraced run "
+            f"(gate x{TOLERANCE:.2f})"
+        )

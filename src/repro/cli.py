@@ -192,6 +192,23 @@ def _cmd_obs(args) -> int:
         pass
 
     bundle = obs.OBS
+    if args.tree:
+        print(bundle.tracer.render_tree())
+        return 0
+    if args.top:
+        totals: dict[str, list[float]] = {}
+        for span in bundle.tracer.finished():
+            totals.setdefault(span.name, []).append(span.elapsed_us)
+        rows = sorted(
+            totals.items(), key=lambda kv: -sum(kv[1])
+        )[: args.top]
+        print(f"{'span':24s} {'count':>7s} {'total ms':>9s} {'max us':>9s}")
+        for name, samples in rows:
+            print(
+                f"{name:24s} {len(samples):7d} "
+                f"{sum(samples) / 1000.0:9.2f} {max(samples):9.1f}"
+            )
+        return 0
     if args.format == "prom":
         sys.stdout.write(bundle.registry.to_prometheus())
         return 0
@@ -213,7 +230,12 @@ def _cmd_obs_merge(args) -> int:
     """Merge per-process metrics snapshots into one exposition."""
     import json
 
-    from repro.obs import MergeError, merge_snapshots, snapshot_to_prometheus
+    from repro.obs import (
+        DEFAULT_GAUGE_MODES,
+        MergeError,
+        merge_snapshots,
+        snapshot_to_prometheus,
+    )
 
     docs = []
     for path in args.snapshots:
@@ -223,8 +245,18 @@ def _cmd_obs_merge(args) -> int:
         except (OSError, json.JSONDecodeError) as exc:
             print(f"error: {path}: {exc}", file=sys.stderr)
             return 1
+    gauge_modes = dict(DEFAULT_GAUGE_MODES)
+    for item in args.gauge_mode or ():
+        name, sep, mode = item.partition("=")
+        if not sep:
+            print(
+                f"error: --gauge-mode wants NAME=MODE, got {item!r}",
+                file=sys.stderr,
+            )
+            return 1
+        gauge_modes[name] = mode
     try:
-        merged = merge_snapshots(docs)
+        merged = merge_snapshots(docs, gauge_modes=gauge_modes)
     except MergeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -301,6 +333,72 @@ def _cmd_scale(args) -> int:
         from repro.obs import snapshot_to_prometheus
 
         sys.stdout.write(snapshot_to_prometheus(report.metrics))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Trace one cluster run and attribute every microsecond of its p99."""
+    import json
+
+    from repro.cluster import ClusterError, ClusterSpec, run_cluster
+    from repro.obs import (
+        AttributionReport,
+        render_span_tree,
+        write_chrome_trace,
+    )
+
+    spec = ClusterSpec(
+        workers=args.workers,
+        cells=args.cells,
+        ues=args.ues,
+        slots=args.slots,
+        seed=args.seed,
+        engine=args.engine,
+        mode=args.mode,
+        timeout_s=args.timeout,
+        trace=True,
+        budget_us=args.budget_us,
+    )
+    try:
+        spec.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        report = run_cluster(spec)
+    except ClusterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.digest_only:
+        print(report.trace_digest)
+        return 0
+    print(report.summary())
+    print()
+    print(AttributionReport(report.attribution).render_table())
+    if args.tree:
+        print()
+        print(render_span_tree(report.spans))
+    if args.out:
+        n = write_chrome_trace(args.out, report.spans)
+        print(
+            f"\n{n} events -> {args.out} "
+            "(load in chrome://tracing or ui.perfetto.dev)"
+        )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(
+                {
+                    "spec": spec.to_json(),
+                    "trace_digest": report.trace_digest,
+                    "span_count": len(report.spans),
+                    "attribution": report.attribution,
+                    "deadline_misses": report.deadline_misses,
+                },
+                f,
+                indent=2,
+            )
+        print(f"attribution -> {args.json}")
     return 0
 
 
@@ -504,6 +602,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--calls", type=int, default=25, help="demo plugin calls")
     p.add_argument("--plugin", default="pf", help="demo scheduler plugin")
+    p.add_argument(
+        "--tree",
+        action="store_true",
+        help="print the recorded span forest as an indented tree and exit",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        metavar="N",
+        help="print the N most expensive span names (by total time) and exit",
+    )
     p.set_defaults(fn=_cmd_obs)
     obs_sub = p.add_subparsers(dest="obs_command", metavar="merge")
     pm = obs_sub.add_parser(
@@ -517,6 +626,13 @@ def main(argv: list[str] | None = None) -> int:
     pm.add_argument("snapshots", nargs="+", metavar="snap.json")
     pm.add_argument("--format", choices=["json", "prom"], default="json")
     pm.add_argument("-o", "--output", help="write instead of printing")
+    pm.add_argument(
+        "--gauge-mode",
+        action="append",
+        metavar="NAME=MODE",
+        help="merge mode for a gauge: sum, max or last (repeatable; "
+        "defaults cover the known high-water-mark gauges)",
+    )
     pm.set_defaults(fn=_cmd_obs_merge)
 
     p = sub.add_parser(
@@ -569,6 +685,62 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--timeout", type=float, default=600.0,
                    help="per-run worker deadline (seconds)")
     p.set_defaults(fn=_cmd_scale)
+
+    p = sub.add_parser(
+        "trace",
+        help="trace a cluster run and attribute its per-slot latency",
+        description="Runs the scale-out cluster with distributed tracing "
+        "on: every worker slot becomes a span, trace context rides the "
+        "batched E2 uplink, and the coordinator stitches one cross-process "
+        "trace.  Prints the latency-attribution table (which segment owns "
+        "the p99, exact decomposition of the p99 slot, critical path, "
+        "deadline misses) and can export a Chrome/Perfetto trace file.",
+    )
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--cells", type=int, default=4)
+    p.add_argument("--ues", type=int, default=32, help="total UE population")
+    p.add_argument("--slots", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--engine",
+        choices=["legacy", "threaded"],
+        default=None,
+        help="Wasm engine (default: REPRO_WASM_ENGINE or threaded)",
+    )
+    p.add_argument(
+        "--mode",
+        choices=["proc", "inline"],
+        default="proc",
+        help="proc = worker processes, inline = sequential in-process",
+    )
+    p.add_argument(
+        "--budget-us",
+        type=float,
+        default=0.0,
+        help="per-slot latency budget; overruns become deadline_miss "
+        "events naming the guilty segment",
+    )
+    p.add_argument(
+        "--out",
+        metavar="TRACE.json",
+        help="write the stitched Chrome/Perfetto trace-event file",
+    )
+    p.add_argument(
+        "--json", metavar="PATH", help="write the attribution report as JSON"
+    )
+    p.add_argument(
+        "--tree",
+        action="store_true",
+        help="also print the stitched span forest as an indented tree",
+    )
+    p.add_argument(
+        "--digest-only",
+        action="store_true",
+        help="print only the structural trace digest (CI determinism check)",
+    )
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="per-run worker deadline (seconds)")
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser(
         "fuzz",

@@ -29,9 +29,12 @@ from repro.cluster.worker import _worker_entry, run_worker, unpack_control
 from repro.e2 import vendors
 from repro.e2.batch import E2BatchError, iter_batch_frame
 from repro.e2.comm import CommChannel
-from repro.netio.batching import BatchError, is_batch
+from repro.netio.batching import BatchError, batch_trace, is_batch
 from repro.netio.bus import InProcNetwork, TcpNetwork
-from repro.obs.merge import merge_snapshots
+from repro.obs.attribution import attribute_slots
+from repro.obs.merge import DEFAULT_GAUGE_MODES, merge_snapshots
+from repro.obs.traceexport import merge_span_collections, trace_digest
+from repro.obs.tracing import TraceContext
 from repro.ric.host import NearRtRic
 from repro.ric.wire import MSG_SLICE_KPI
 
@@ -65,6 +68,13 @@ class ClusterReport:
     uplink: dict[str, int] = field(default_factory=dict)
     xapp_calls: int = 0
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: with ``spec.trace``: the stitched cross-process span documents
+    #: (coordinator + every worker), the structural trace digest, the
+    #: per-slot latency-attribution doc, and live deadline-miss events
+    spans: list[dict] = field(default_factory=list, repr=False)
+    trace_digest: str = ""
+    attribution: dict[str, Any] = field(default_factory=dict)
+    deadline_misses: list[dict] = field(default_factory=list)
 
     @property
     def bytes_digest(self) -> str:
@@ -94,10 +104,16 @@ class ClusterReport:
             f"seen={self.indications_seen} "
             f"dropped={self.indications_dropped}; "
             f"controls={sum(self.controls_captured.values())}"
+            + (
+                f"; p99 blame: {self.attribution.get('dominant', '?')} "
+                f"({len(self.deadline_misses)} deadline misses)"
+                if self.attribution
+                else ""
+            )
         )
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        doc: dict[str, Any] = {
             "spec": self.spec.to_json(),
             "engine": self.engine,
             "wall_seconds": self.wall_seconds,
@@ -120,6 +136,14 @@ class ClusterReport:
             "xapp_calls": self.xapp_calls,
             "metrics": self.metrics,
         }
+        if self.attribution:
+            doc["attribution"] = self.attribution
+            doc["trace"] = {
+                "digest": self.trace_digest,
+                "span_count": len(self.spans),
+                "deadline_misses": self.deadline_misses,
+            }
+        return doc
 
 
 class ClusterCoordinator:
@@ -134,6 +158,8 @@ class ClusterCoordinator:
         self._frames_ingested = 0
         self._messages_ingested = 0
         self._ingest_failures = 0
+        #: the reserved root trace context every worker parents under
+        self._root_ctx: TraceContext | None = None
 
     # ----- RIC fabric -------------------------------------------------------
 
@@ -157,18 +183,29 @@ class ClusterCoordinator:
             self.ric.register_node(cell_name(g), subscription_id=g + 1)
 
     def _ingest_frame(self, data: bytes) -> None:
-        """Demultiplex one batched uplink frame into the RIC's fabric."""
+        """Demultiplex one batched uplink frame into the RIC's fabric.
+
+        The ingest span parents under the *producing worker slot's* trace
+        context carried in the frame header, so the coordinator's demux
+        work appears inside that slot's cross-process span tree.
+        """
         self._frames_ingested += 1
-        try:
-            for node, payload in iter_batch_frame(data):
-                ingress = self._ingress.get(node)
-                if ingress is None:
-                    self._ingest_failures += 1
-                    continue
-                ingress.send("ric", payload)
-                self._messages_ingested += 1
-        except (BatchError, E2BatchError):
-            self._ingest_failures += 1
+        messages = 0
+        with obs.OBS.tracer.span(
+            "coord.ingest", parent=batch_trace(data), bytes=len(data)
+        ) as span:
+            try:
+                for node, payload in iter_batch_frame(data):
+                    ingress = self._ingress.get(node)
+                    if ingress is None:
+                        self._ingest_failures += 1
+                        continue
+                    ingress.send("ric", payload)
+                    messages += 1
+            except (BatchError, E2BatchError):
+                self._ingest_failures += 1
+            span.set(messages=messages)
+        self._messages_ingested += messages
 
     # ----- run modes --------------------------------------------------------
 
@@ -176,6 +213,15 @@ class ClusterCoordinator:
         """Execute the whole scale-out run and return the aggregate report."""
         obs.enable()
         obs.reset()
+        tracer = obs.OBS.tracer
+        tracer.service = "coord"
+        if self.spec.trace:
+            # the root identity is *reserved*, not held open as a live
+            # span: inline mode resets telemetry around each worker, and
+            # a live root would not survive that.  The root span document
+            # is synthesised at finalize time instead.
+            self._root_ctx = tracer.reserve_context()
+            tracer.resize(max(tracer.capacity, self.spec.slots * 16))
         t0 = time.perf_counter()
         if self.spec.mode == "inline":
             snapshots = self._run_inline()
@@ -198,16 +244,21 @@ class ClusterCoordinator:
         for worker_id in range(self.spec.workers):
             obs.reset()
             result = run_worker(
-                self.spec, worker_id, net.endpoint(f"worker{worker_id}")
+                self.spec,
+                worker_id,
+                net.endpoint(f"worker{worker_id}"),
+                trace_parent=self._root_ctx,
             )
             self._results[worker_id] = result
             snapshots.append(result["metrics"])
         obs.reset()
+        obs.OBS.tracer.service = "coord"  # run_worker relabelled the tracer
         self._build_ric()
-        for _source, data in coord_endpoint.drain():
-            if is_batch(data):
-                self._ingest_frame(data)
-        self._drain_ric()
+        with obs.OBS.tracer.span("coord.drain"):
+            for _source, data in coord_endpoint.drain():
+                if is_batch(data):
+                    self._ingest_frame(data)
+            self._drain_ric()
         return snapshots
 
     def _run_proc(self) -> list[dict]:
@@ -215,20 +266,26 @@ class ClusterCoordinator:
         import multiprocessing as mp
 
         ctx = mp.get_context("spawn")
+        parent_doc = self._root_ctx.to_json() if self._root_ctx else None
         with TcpNetwork() as net:
             coord_endpoint = net.endpoint(COORD)
             port = coord_endpoint.port  # type: ignore[attr-defined]
             self._build_ric()
-            procs = {
-                worker_id: ctx.Process(
-                    target=_worker_entry,
-                    args=(self.spec.to_json(), worker_id, port),
-                    daemon=True,
-                )
-                for worker_id in range(self.spec.workers)
-            }
-            for proc in procs.values():
-                proc.start()
+            with obs.OBS.tracer.span(
+                "coord.spawn", workers=self.spec.workers
+            ):
+                # covers spec serialisation + interpreter spawn - the
+                # fixed cost every proc-mode run pays before slot 0
+                procs = {
+                    worker_id: ctx.Process(
+                        target=_worker_entry,
+                        args=(self.spec.to_json(), worker_id, port, parent_doc),
+                        daemon=True,
+                    )
+                    for worker_id in range(self.spec.workers)
+                }
+                for proc in procs.values():
+                    proc.start()
             try:
                 self._pump(coord_endpoint, procs)
             finally:
@@ -236,7 +293,8 @@ class ClusterCoordinator:
                     proc.join(timeout=10)
                     if proc.is_alive():  # pragma: no cover - hung worker
                         proc.terminate()
-        self._drain_ric()
+        with obs.OBS.tracer.span("coord.drain"):
+            self._drain_ric()
         return [self._results[k]["metrics"] for k in sorted(self._results)]
 
     def _pump(self, endpoint, procs) -> None:
@@ -246,13 +304,16 @@ class ClusterCoordinator:
             item = endpoint.recv(timeout=0.2)
             if item is not None:
                 _source, data = item
-                doc = unpack_control(data)
+                if is_batch(data):
+                    self._ingest_frame(data)
+                    self.ric.step()
+                    continue
+                with obs.OBS.tracer.span(
+                    "coord.result.decode", bytes=len(data)
+                ):
+                    doc = unpack_control(data)
                 if doc is None:
-                    if is_batch(data):
-                        self._ingest_frame(data)
-                        self.ric.step()
-                    else:
-                        self._ingest_failures += 1
+                    self._ingest_failures += 1
                 elif doc.get("t") == "result":
                     self._results[int(doc["worker"])] = doc
                     pending.discard(int(doc["worker"]))
@@ -365,9 +426,58 @@ class ClusterCoordinator:
             runtime.calls for runtime in self.ric.xapps.values()
         )
         report.metrics = merge_snapshots(
-            snapshots + [registry.to_json()]
+            snapshots + [registry.to_json()],
+            gauge_modes=DEFAULT_GAUGE_MODES,
         )
+        if spec.trace and self._root_ctx is not None:
+            self._stitch_trace(report, results, wall)
         return report
+
+    def _stitch_trace(
+        self, report: ClusterReport, results: list[dict], wall: float
+    ) -> None:
+        """Merge every process's span collection into one stitched trace."""
+        ctx = self._root_ctx
+        assert ctx is not None
+        coord_spans = obs.OBS.tracer.to_json()
+        # synthesise the reserved root: cluster.run spans the whole wall
+        # time and every worker.run parents under it by reserved id
+        coord_spans.append(
+            {
+                "trace_id": f"{ctx.trace_id:016x}",
+                "span_id": ctx.span_id,
+                "parent_id": None,
+                "name": "cluster.run",
+                "service": "coord",
+                "thread_id": 0,
+                "start_ns": min(
+                    (int(d["start_ns"]) for d in coord_spans), default=0
+                ),
+                "elapsed_us": wall * 1e6,
+                "status": "ok",
+                "attrs": {
+                    "workers": self.spec.workers,
+                    "cells": self.spec.cells,
+                    "mode": self.spec.mode,
+                },
+            }
+        )
+        collections = [("coord", coord_spans)]
+        for r in results:
+            collections.append(
+                (
+                    r.get("service", f"worker{r['worker']}"),
+                    r.get("spans", []),
+                )
+            )
+            report.deadline_misses.extend(r.get("events", []))
+        report.spans = merge_span_collections(collections)
+        report.trace_digest = trace_digest(report.spans)
+        report.attribution = attribute_slots(
+            report.spans,
+            slot_name="worker.slot",
+            budget_us=self.spec.budget_us or None,
+        ).to_json()
 
 
 def run_cluster(spec: ClusterSpec) -> ClusterReport:

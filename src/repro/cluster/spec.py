@@ -57,6 +57,12 @@ class ClusterSpec:
     checkpoint_every: int = 25
     mode: str = "proc"  # "proc" = worker processes, "inline" = same process
     timeout_s: float = 600.0
+    #: distributed tracing: workers ship their span collections home and
+    #: the report carries a stitched cross-process trace + attribution
+    trace: bool = False
+    #: per-slot latency budget (us); overruns emit ``trace.deadline_miss``
+    #: events naming the guilty segment (0 = no budget tracking)
+    budget_us: float = 0.0
 
     def validate(self) -> None:
         if self.workers < 1:
@@ -69,6 +75,8 @@ class ClusterSpec:
             raise ValueError("kpm_period and flush_every must be positive")
         if self.mode not in ("proc", "inline"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.budget_us < 0:
+            raise ValueError("budget_us must be non-negative")
 
     # ----- sharding ---------------------------------------------------------
 

@@ -9,7 +9,17 @@ finally ships one ``result`` control frame to the coordinator carrying:
 - its process-wide metrics-registry snapshot (merged by the coordinator
   via :func:`repro.obs.merge.merge_snapshots`),
 - uplink/backpressure counters (also exported as ``waran_cluster_*``
-  metrics inside the snapshot).
+  metrics inside the snapshot),
+- with ``spec.trace``: its **span collection** and trace context, so the
+  coordinator can stitch one cross-process trace
+  (:mod:`repro.obs.traceexport`) - every slot becomes a ``worker.slot``
+  span (children: ``gnb.step``, ``e2.encode``, ``uplink.flush``,
+  ``net.send``, ...) parented under the coordinator's reserved root.
+
+With a ``spec.budget_us`` latency budget, slots that overrun it emit a
+live ``trace.deadline_miss`` event naming the *guilty segment* - the
+child span (or self-time) that cost the most - so SLO violations are
+attributable the moment they happen, not only in the offline report.
 
 Control frames share the transport with batched E2 frames and are
 distinguished by magic::
@@ -36,6 +46,7 @@ from repro.cluster.spec import COORD, ClusterSpec
 from repro.e2 import vendors
 from repro.netio.batching import BatchSender
 from repro.netio.bus import Endpoint
+from repro.obs.tracing import TraceContext
 
 CLUSTER_MAGIC = 0x31534C43  # 'CLS1' little-endian
 
@@ -53,8 +64,23 @@ def unpack_control(data: bytes) -> dict[str, Any] | None:
     return json.loads(data[4:].decode())
 
 
+def _span_capacity(spec: ClusterSpec, cells: int) -> int:
+    """Ring-buffer size that keeps a whole traced run (slot spans and
+    their per-cell children) instead of silently evicting the early slots.
+
+    Each slot emits the slot span, one gnb.step per cell, a 4-span
+    plugin group per scheduled UE (call/invoke/encode/decode) and the
+    periodic flush/encode pair; 24 per cell-slot covers the densest
+    schedules with slack."""
+    per_slot = 24 * max(1, cells) + 8
+    return max(4096, spec.slots * per_slot)
+
+
 def run_worker(
-    spec: ClusterSpec, worker_id: int, endpoint: Endpoint
+    spec: ClusterSpec,
+    worker_id: int,
+    endpoint: Endpoint,
+    trace_parent: TraceContext | None = None,
 ) -> dict[str, Any]:
     """Build the shard, run the slot loop, return the result document.
 
@@ -66,6 +92,9 @@ def run_worker(
     from repro.wasm.threaded import resolve_engine
 
     obs.enable()
+    tracer = obs.OBS.tracer
+    service = f"worker{worker_id}"
+    tracer.service = service
     engine = resolve_engine(spec.engine)
     schedule = schedule_from_env(spec.chaos) if spec.chaos else None
     profile = vendors.vendor_b()
@@ -76,6 +105,8 @@ def run_worker(
         build_cell(spec, g, sender, profile, schedule)
         for g in spec.cells_for_worker(worker_id)
     ]
+    if spec.trace:
+        tracer.resize(_span_capacity(spec, len(cells)))
 
     registry = obs.OBS.registry
     label = str(worker_id)
@@ -86,19 +117,44 @@ def run_worker(
         "waran_cluster_slot_us",
         "per-slot shard step time (all hosted cells), by worker (us)",
     )
+    budget = spec.budget_us or None
+    miss_counter = registry.counter(
+        "waran_cluster_deadline_miss_total",
+        "slots that overran the latency budget, by worker",
+    )
 
     t0 = time.perf_counter()
-    for slot in range(spec.slots):
-        s0 = time.perf_counter()
-        for cell in cells:
-            cell.gnb.step()
-            cell.node.step()
-            if schedule is not None:
-                step_operator_loop(cell, slot, spec.release_after)
-        slot_hist.observe((time.perf_counter() - s0) * 1e6, worker=label)
-        if (slot + 1) % spec.flush_every == 0:
+    with tracer.span(
+        "worker.run", parent=trace_parent, worker=worker_id, cells=len(cells)
+    ) as run_span:
+        run_ctx = run_span.context if run_span is not obs.NULL_SPAN else None
+        for slot in range(spec.slots):
+            with tracer.span("worker.slot", slot=slot) as slot_span:
+                s0 = time.perf_counter()
+                for cell in cells:
+                    cell.gnb.step()
+                    cell.node.step()
+                    if schedule is not None:
+                        step_operator_loop(cell, slot, spec.release_after)
+                slot_hist.observe((time.perf_counter() - s0) * 1e6, worker=label)
+                if (slot + 1) % spec.flush_every == 0:
+                    sender.flush()
+            if budget and slot_span is not obs.NULL_SPAN:
+                elapsed = slot_span.elapsed_us
+                if elapsed > budget:
+                    guilty, guilty_us = slot_span.guilty_segment()
+                    miss_counter.inc(worker=label)
+                    obs.OBS.events.emit(
+                        "trace.deadline_miss",
+                        source=service,
+                        slot=slot,
+                        elapsed_us=round(elapsed, 1),
+                        budget_us=budget,
+                        guilty=guilty,
+                        guilty_us=round(guilty_us, 1),
+                    )
+        with tracer.span("uplink.flush.final"):
             sender.flush()
-    sender.flush()
     run_seconds = time.perf_counter() - t0
 
     for cell in cells:
@@ -116,7 +172,7 @@ def run_worker(
             metric_name, f"batched E2 uplink {key.replace('_', ' ')}, by worker"
         ).inc(stats[key], worker=label)
 
-    return {
+    result = {
         "t": "result",
         "worker": worker_id,
         "engine": engine,
@@ -138,13 +194,28 @@ def run_worker(
         "slot_us": slot_hist.snapshot(worker=label),
         "metrics": registry.to_json(),
     }
+    if spec.trace:
+        result["service"] = service
+        result["spans"] = tracer.to_json()
+        result["events"] = [
+            e.to_json() for e in obs.OBS.events.events("trace.deadline_miss")
+        ]
+        if run_ctx is not None:
+            result["trace"] = run_ctx.to_json()
+    return result
 
 
-def _worker_entry(spec_doc: dict, worker_id: int, coord_port: int) -> None:
+def _worker_entry(
+    spec_doc: dict,
+    worker_id: int,
+    coord_port: int,
+    trace_parent: dict | None = None,
+) -> None:
     """Process entry point: connect back to the coordinator and run."""
     from repro.netio.bus import TcpNetwork
 
     spec = ClusterSpec.from_json(spec_doc)
+    parent = TraceContext.from_json(trace_parent)
     with TcpNetwork() as net:
         net.register_peer(COORD, coord_port)
         endpoint = net.endpoint(f"worker{worker_id}")
@@ -152,7 +223,7 @@ def _worker_entry(spec_doc: dict, worker_id: int, coord_port: int) -> None:
             COORD, pack_control({"t": "hello", "worker": worker_id})
         )
         try:
-            result = run_worker(spec, worker_id, endpoint)
+            result = run_worker(spec, worker_id, endpoint, trace_parent=parent)
         except Exception as exc:  # surfaced by the coordinator, not lost
             endpoint.send(
                 COORD,

@@ -1,28 +1,45 @@
-"""Payload batching with bounded queues and explicit backpressure.
+"""Payload batching with bounded queues, backpressure, and trace context.
 
 The cluster's E2 uplink coalesces many per-slot indications into one
 transport frame instead of paying per-message framing and syscall costs.
 The wire format is transport-agnostic (it rides *inside* the existing
-length-prefixed frame of :mod:`repro.netio.framing`)::
+length-prefixed frame of :mod:`repro.netio.framing`).  Two header
+variants share the format::
 
     u32 magic 'WBAT' | u32 count | count * (u32 len | payload)
+    u32 magic 'WBT2' | u32 count | u64 trace_id | u64 span_id | entries...
+
+``WBT2`` is the distributed-tracing variant: the 16-byte
+:class:`~repro.obs.tracing.TraceContext` of the span that *flushed* the
+batch (the worker's active slot span) rides in the header, so the
+receiver can parent its ingest span under the producing slot - that is
+how a coordinator's demultiplex work shows up inside the worker slot's
+span tree.  Receivers accept both variants; senders emit ``WBT2`` only
+when tracing is live, so untraced runs stay byte-identical to before.
 
 Backpressure is explicit, not implicit: :class:`BatchSender` owns a
 *bounded* queue.  When the queue is full, :meth:`BatchSender.offer`
 refuses the payload and counts the drop - the producer learns immediately
 and the process never buffers without bound.  Telemetry loss is visible
 in the ``dropped`` counter (exported as ``waran_cluster_*`` metrics by
-the cluster workers) instead of hiding as creeping memory growth.
+the cluster workers) instead of hiding as creeping memory growth.  The
+sender also measures the **batch-queue wait** - enqueue to flush - per
+payload into ``waran_uplink_queue_wait_us``, one of the segments the
+latency-attribution report breaks the slot budget into.
 """
 
 from __future__ import annotations
 
 import struct
+import time
 
 from repro.netio.bus import Endpoint
 from repro.netio.framing import MAX_FRAME
+from repro.obs import OBS
+from repro.obs.tracing import TraceContext
 
 BATCH_MAGIC = 0x54414257  # 'WBAT' little-endian
+BATCH_MAGIC_TRACED = 0x32544257  # 'WBT2' little-endian
 
 _HEADER = struct.Struct("<II")
 _ENTRY_LEN = struct.Struct("<I")
@@ -36,28 +53,69 @@ class BatchError(ValueError):
 
 
 def is_batch(data: bytes) -> bool:
-    """True iff ``data`` starts with the batch magic."""
-    return len(data) >= 8 and _HEADER.unpack_from(data, 0)[0] == BATCH_MAGIC
+    """True iff ``data`` starts with either batch magic."""
+    if len(data) < 8:
+        return False
+    magic = _HEADER.unpack_from(data, 0)[0]
+    return magic in (BATCH_MAGIC, BATCH_MAGIC_TRACED)
 
 
-def pack_batch(payloads: list[bytes]) -> bytes:
-    """Coalesce payloads into one batch frame body."""
-    parts = [_HEADER.pack(BATCH_MAGIC, len(payloads))]
+def _entries_offset(data: bytes) -> tuple[int, int]:
+    """``(count, offset-of-first-entry)`` for either header variant."""
+    if len(data) < 8:
+        raise BatchError("short batch frame")
+    magic, count = _HEADER.unpack_from(data, 0)
+    if magic == BATCH_MAGIC:
+        return count, 8
+    if magic == BATCH_MAGIC_TRACED:
+        if len(data) < 8 + TraceContext.WIRE_LEN:
+            raise BatchError("traced batch frame missing context")
+        return count, 8 + TraceContext.WIRE_LEN
+    raise BatchError(f"bad batch magic 0x{magic:08x}")
+
+
+def pack_batch(
+    payloads: list[bytes],
+    ctx: TraceContext | None = None,
+    traced: bool = False,
+) -> bytes:
+    """Coalesce payloads into one batch frame body.
+
+    ``ctx`` (or ``traced=True`` with no specific context - an all-zero
+    context is written) selects the ``WBT2`` header.  The magic is
+    authoritative for receivers: payload layers key *their* traced entry
+    layouts off :func:`is_traced_batch`, never off payload sniffing.
+    """
+    if ctx is None and not traced:
+        parts = [_HEADER.pack(BATCH_MAGIC, len(payloads))]
+    else:
+        wire = ctx.pack() if ctx is not None else b"\x00" * TraceContext.WIRE_LEN
+        parts = [_HEADER.pack(BATCH_MAGIC_TRACED, len(payloads)), wire]
     for payload in payloads:
         parts.append(_ENTRY_LEN.pack(len(payload)))
         parts.append(payload)
     return b"".join(parts)
 
 
+def is_traced_batch(data: bytes) -> bool:
+    """True iff ``data`` is a ``WBT2`` frame (its entries use traced layouts)."""
+    return len(data) >= 8 and _HEADER.unpack_from(data, 0)[0] == BATCH_MAGIC_TRACED
+
+
+def batch_trace(data: bytes) -> TraceContext | None:
+    """The producing span's context carried by a ``WBT2`` frame, if any."""
+    if len(data) >= 8 + TraceContext.WIRE_LEN:
+        if _HEADER.unpack_from(data, 0)[0] == BATCH_MAGIC_TRACED:
+            ctx = TraceContext.unpack(data[8:])
+            if ctx.trace_id or ctx.span_id:
+                return ctx
+    return None
+
+
 def unpack_batch(data: bytes) -> list[bytes]:
-    """Split a batch frame body back into its payloads."""
-    if len(data) < 8:
-        raise BatchError("short batch frame")
-    magic, count = _HEADER.unpack_from(data, 0)
-    if magic != BATCH_MAGIC:
-        raise BatchError(f"bad batch magic 0x{magic:08x}")
+    """Split a batch frame body (either variant) back into its payloads."""
+    count, offset = _entries_offset(data)
     payloads = []
-    offset = 8
     for _ in range(count):
         if offset + 4 > len(data):
             raise BatchError("batch entry header overruns frame")
@@ -81,6 +139,9 @@ class BatchSender:
     flush cadence (the cluster workers flush every N slots).
     """
 
+    #: per-variant worst-case header bytes an entry adds inside a frame
+    _ENTRY_OVERHEAD = 4 + TraceContext.WIRE_LEN
+
     def __init__(
         self,
         endpoint: Endpoint,
@@ -94,7 +155,7 @@ class BatchSender:
         self.dest = dest
         self.max_queue = max_queue
         self.max_batch = max_batch
-        self._queue: list[bytes] = []
+        self._queue: list[tuple[bytes, int]] = []  # (payload, enqueue_ns)
         self.offered = 0
         self.dropped = 0
         self.dropped_oversize = 0
@@ -116,29 +177,56 @@ class BatchSender:
         if len(self._queue) >= self.max_queue:
             self.dropped += 1
             return False
-        self._queue.append(bytes(payload))
+        self._queue.append((bytes(payload), time.perf_counter_ns()))
         return True
 
     def flush(self) -> int:
-        """Send everything queued; returns the number of messages flushed."""
+        """Send everything queued; returns the number of messages flushed.
+
+        When tracing is live, the active span's context (the worker's
+        slot span) is stamped into each frame's ``WBT2`` header and the
+        whole flush is timed as an ``uplink.flush`` span; per-payload
+        queue wait is observed into ``waran_uplink_queue_wait_us``.
+        """
+        if not self._queue:
+            return 0
+        tracer = OBS.tracer
+        traced = tracer.enabled
+        ctx = tracer.current() if traced else None
+        enabled = OBS.enabled
+        wait_hist = (
+            OBS.registry.histogram(
+                "waran_uplink_queue_wait_us",
+                "batch-queue wait from enqueue to flush (us)",
+            )
+            if enabled
+            else None
+        )
         flushed = 0
-        while self._queue:
-            batch: list[bytes] = []
-            size = 8
-            while (
-                self._queue
-                and len(batch) < self.max_batch
-                and size + 4 + len(self._queue[0]) <= MAX_FRAME - _FRAME_SLACK
-            ):
-                payload = self._queue.pop(0)
-                size += 4 + len(payload)
-                batch.append(payload)
-            frame = pack_batch(batch)
-            self.endpoint.send(self.dest, frame)
-            self.batches_sent += 1
-            self.messages_sent += len(batch)
-            self.bytes_sent += len(frame)
-            flushed += len(batch)
+        bytes_before = self.bytes_sent
+        with tracer.span("uplink.flush", dest=self.dest) as span:
+            now = time.perf_counter_ns()
+            while self._queue:
+                batch: list[bytes] = []
+                size = 8 + (TraceContext.WIRE_LEN if traced else 0)
+                while (
+                    self._queue
+                    and len(batch) < self.max_batch
+                    and size + 4 + len(self._queue[0][0])
+                    <= MAX_FRAME - _FRAME_SLACK
+                ):
+                    payload, enq_ns = self._queue.pop(0)
+                    if wait_hist is not None:
+                        wait_hist.observe((now - enq_ns) / 1000.0)
+                    size += 4 + len(payload)
+                    batch.append(payload)
+                frame = pack_batch(batch, ctx=ctx, traced=traced)
+                self.endpoint.send(self.dest, frame)
+                self.batches_sent += 1
+                self.messages_sent += len(batch)
+                self.bytes_sent += len(frame)
+                flushed += len(batch)
+            span.set(messages=flushed, bytes=self.bytes_sent - bytes_before)
         return flushed
 
     def stats(self) -> dict[str, int]:

@@ -1,4 +1,13 @@
-"""In-process and TCP-loopback message networks."""
+"""In-process and TCP-loopback message networks.
+
+The TCP endpoint is instrumented for latency attribution: every
+``send`` is timed into the ``waran_net_send_us`` histogram and (when
+tracing is live) wrapped in a ``net.send`` span, so socket time shows up
+as its own segment in the per-slot breakdown instead of hiding inside
+whatever span happened to be open.  The reader threads count inbound
+frames/bytes as metrics only - they never open spans, because a daemon
+reader thread has no meaningful parent on its thread-local span stack.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +15,11 @@ import queue
 import socket
 import struct
 import threading
+import time
 from abc import ABC, abstractmethod
 
 from repro.netio.framing import read_frame, write_frame
+from repro.obs import OBS
 
 
 class NetworkError(RuntimeError):
@@ -135,7 +146,15 @@ class _TcpEndpoint(Endpoint):
 
         try:
             while True:
-                self._queue.put(read_frame(recv_exact))
+                source, payload = read_frame(recv_exact)
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "waran_net_recv_frames_total", "frames received"
+                    ).inc()
+                    OBS.registry.counter(
+                        "waran_net_recv_bytes_total", "payload bytes received"
+                    ).inc(len(payload))
+                self._queue.put((source, payload))
         except (ConnectionError, OSError, ValueError):
             conn.close()
         finally:
@@ -169,22 +188,32 @@ class _TcpEndpoint(Endpoint):
         if port is None:
             raise NetworkError(f"no endpoint named {dest!r}")
         frame = write_frame(self.name, payload)
-        with self._lock:
-            sock = self._out.get(dest)
-            if sock is not None and self._peer_closed(sock):
-                sock.close()
-                sock = None
-            if sock is None:
-                sock = socket.create_connection(("127.0.0.1", port), timeout=5)
-                self._out[dest] = sock
-            try:
-                sock.sendall(frame)
-            except OSError:
-                # reconnect once (peer may have restarted)
-                sock.close()
-                sock = socket.create_connection(("127.0.0.1", port), timeout=5)
-                self._out[dest] = sock
-                sock.sendall(frame)
+        with OBS.tracer.span("net.send", dest=dest, bytes=len(frame)):
+            start_ns = time.perf_counter_ns() if OBS.enabled else 0
+            with self._lock:
+                sock = self._out.get(dest)
+                if sock is not None and self._peer_closed(sock):
+                    sock.close()
+                    sock = None
+                if sock is None:
+                    sock = socket.create_connection(
+                        ("127.0.0.1", port), timeout=5
+                    )
+                    self._out[dest] = sock
+                try:
+                    sock.sendall(frame)
+                except OSError:
+                    # reconnect once (peer may have restarted)
+                    sock.close()
+                    sock = socket.create_connection(
+                        ("127.0.0.1", port), timeout=5
+                    )
+                    self._out[dest] = sock
+                    sock.sendall(frame)
+            if OBS.enabled:
+                OBS.registry.histogram(
+                    "waran_net_send_us", "TCP frame send time (us)"
+                ).observe((time.perf_counter_ns() - start_ns) / 1000.0)
 
     def recv(self, timeout: float | None = 0.0) -> tuple[str, bytes] | None:
         try:

@@ -32,11 +32,32 @@ sections as JSON or Prometheus text.
 
 from __future__ import annotations
 
+from repro.obs.attribution import AttributionReport, attribute_slots
 from repro.obs.events import Event, EventLog
 from repro.obs.flight import CallRecord, FlightRecorder
-from repro.obs.merge import MergeError, merge_snapshots, snapshot_to_prometheus
+from repro.obs.merge import (
+    DEFAULT_GAUGE_MODES,
+    MergeError,
+    merge_snapshots,
+    snapshot_to_prometheus,
+)
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.tracing import NULL_SPAN, Span, Tracer, traced
+from repro.obs.traceexport import (
+    TraceExportError,
+    chrome_trace,
+    merge_span_collections,
+    trace_digest,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    TraceContext,
+    Tracer,
+    render_span_tree,
+    traced,
+)
 
 
 class Observability:
@@ -109,13 +130,24 @@ __all__ = [
     "Histogram",
     "Tracer",
     "Span",
+    "TraceContext",
     "NULL_SPAN",
     "traced",
+    "render_span_tree",
     "FlightRecorder",
     "CallRecord",
     "EventLog",
     "Event",
     "MergeError",
+    "DEFAULT_GAUGE_MODES",
     "merge_snapshots",
     "snapshot_to_prometheus",
+    "AttributionReport",
+    "attribute_slots",
+    "TraceExportError",
+    "chrome_trace",
+    "merge_span_collections",
+    "trace_digest",
+    "validate_chrome_trace",
+    "write_chrome_trace",
 ]

@@ -11,9 +11,15 @@ use (e.g. combining snapshots uploaded from several CI runs).
 Merge semantics per metric kind:
 
 - **counter** - series with the same label set sum;
-- **gauge** - series with the same label set sum (a cluster-wide gauge is
-  the total across shards; per-shard values stay distinguishable when the
-  producer labels them, e.g. ``worker="3"``);
+- **gauge** - series with the same label set merge under an explicit
+  *gauge mode*: ``sum`` (the default - a cluster-wide gauge is the total
+  across shards), ``max`` (high-water marks like
+  ``waran_plugin_memory_pages``, where summing per-process peaks would
+  fabricate a memory footprint no process ever had), or ``last`` (the
+  most recent snapshot wins, for configuration-style gauges).  Modes are
+  given per metric name via ``gauge_modes``;
+  :data:`DEFAULT_GAUGE_MODES` carries the known non-summable gauges and
+  is what the cluster coordinator passes;
 - **histogram** - ``count``/``sum``/``min``/``max`` merge exactly and the
   mean is recomputed; ``p50``/``p99`` cannot be reconstructed from
   snapshots, so the merge carries the *count-weighted average* of the
@@ -34,17 +40,36 @@ LabelKey = tuple[tuple[str, str], ...]
 
 
 class MergeError(ValueError):
-    """Snapshots disagree about a metric's type."""
+    """Snapshots disagree about a metric's type, or a mode is unknown."""
+
+
+GAUGE_MODES = ("sum", "max", "last")
+
+#: the known per-process gauges whose cluster-wide merge must not be a sum:
+#: high-water marks take the max; purely coordinator-side configuration
+#: gauges take the last writer.  Callers can extend/override per call.
+DEFAULT_GAUGE_MODES: dict[str, str] = {
+    "waran_plugin_memory_pages": "max",
+    "waran_cluster_workers": "last",
+}
 
 
 def _key(labels: dict[str, str]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
-def _merge_scalar(into: dict[LabelKey, float], series: Iterable[dict]) -> None:
+def _merge_scalar(
+    into: dict[LabelKey, float], series: Iterable[dict], mode: str = "sum"
+) -> None:
     for entry in series:
         key = _key(entry.get("labels", {}))
-        into[key] = into.get(key, 0.0) + float(entry.get("value", 0.0))
+        value = float(entry.get("value", 0.0))
+        if mode == "sum":
+            into[key] = into.get(key, 0.0) + value
+        elif mode == "max":
+            into[key] = max(into.get(key, value), value)
+        else:  # "last": later snapshots win
+            into[key] = value
 
 
 def _merge_histogram(into: dict[LabelKey, dict], series: Iterable[dict]) -> None:
@@ -81,12 +106,24 @@ def _finish_histogram(acc: dict) -> dict[str, float]:
     return out
 
 
-def merge_snapshots(snapshots: Iterable[dict[str, Any]]) -> dict[str, Any]:
+def merge_snapshots(
+    snapshots: Iterable[dict[str, Any]],
+    gauge_modes: dict[str, str] | None = None,
+) -> dict[str, Any]:
     """Merge ``MetricsRegistry.to_json()`` documents into one.
 
     Accepts both bare registry snapshots (``{metric: {...}}``) and the
     benchmark/report wrappers that nest one under a ``"metrics"`` key.
+    ``gauge_modes`` maps gauge names to ``sum``/``max``/``last`` (unnamed
+    gauges sum); counters always sum.
     """
+    if gauge_modes:
+        for name, mode in gauge_modes.items():
+            if mode not in GAUGE_MODES:
+                raise MergeError(
+                    f"unknown gauge mode {mode!r} for {name!r} "
+                    f"(expected one of {', '.join(GAUGE_MODES)})"
+                )
     kinds: dict[str, str] = {}
     helps: dict[str, str] = {}
     scalars: dict[str, dict[LabelKey, float]] = {}
@@ -110,7 +147,12 @@ def merge_snapshots(snapshots: Iterable[dict[str, Any]]) -> dict[str, Any]:
                     histograms.setdefault(name, {}), family["series"]
                 )
             else:
-                _merge_scalar(scalars.setdefault(name, {}), family["series"])
+                mode = "sum"
+                if kind == "gauge" and gauge_modes:
+                    mode = gauge_modes.get(name, "sum")
+                _merge_scalar(
+                    scalars.setdefault(name, {}), family["series"], mode
+                )
 
     out: dict[str, Any] = {}
     for name in sorted(kinds):

@@ -1,4 +1,4 @@
-"""Lightweight tracing spans for the Wasm host stack.
+"""Distributed tracing spans for the Wasm host stack.
 
 A :class:`Span` is a named, monotonic-clock interval with attributes and a
 parent link; spans opened while another span is active become its children,
@@ -7,6 +7,26 @@ so one plugin call produces a tree (``plugin.call`` → ``encode`` /
 
 - context manager: ``with tracer.span("plugin.call", plugin="pf"): ...``
 - decorator: ``@traced("wacc.compile")``
+
+Since the cluster PR, spans also carry **distributed trace context**:
+
+- every span has a globally-unique 64-bit ``span_id`` (a per-process
+  random prefix in the high bits, a counter in the low bits) and belongs
+  to a ``trace_id`` inherited from its parent - a root span starts a
+  fresh trace;
+- :class:`TraceContext` is the 16-byte propagation token
+  ``(trace_id, span_id)``; :meth:`Tracer.current` captures the active
+  span's context, and ``tracer.span(name, parent=ctx)`` opens a span
+  whose parent lives in *another process* - the cross-process span tree
+  stitches back together by id when the collections are merged
+  (:mod:`repro.obs.traceexport`);
+- the active-span stack is **thread-local**, so spans opened from pump /
+  pubsub / reader threads nest within their own thread instead of
+  interleaving into wrong parentage;
+- a finishing span reports its duration to its parent, so every span
+  knows its direct children's time by name (``children_us``) - the
+  latency-attribution layer (:mod:`repro.obs.attribution`) and the
+  live ``deadline_miss`` path both read the guilty segment from there.
 
 Cost model: when the tracer is disabled, :meth:`Tracer.span` returns a
 shared null span - one method call and one branch, no allocation, no clock
@@ -18,8 +38,11 @@ exported as a JSON-friendly list or an indented text tree.
 from __future__ import annotations
 
 import itertools
+import os
+import threading
 import time
 from collections import deque
+from dataclasses import dataclass
 from typing import Any
 
 
@@ -41,33 +64,114 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagation token: which trace, and which span to parent under.
+
+    Serialises to exactly :data:`WIRE_LEN` bytes (two little-endian u64s)
+    so transports can carry it in fixed-size headers, and to a compact
+    JSON dict for control frames.
+    """
+
+    trace_id: int
+    span_id: int
+
+    WIRE_LEN = 16
+
+    def pack(self) -> bytes:
+        return self.trace_id.to_bytes(8, "little") + self.span_id.to_bytes(
+            8, "little"
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TraceContext":
+        if len(data) < cls.WIRE_LEN:
+            raise ValueError("short trace context")
+        return cls(
+            int.from_bytes(data[:8], "little"),
+            int.from_bytes(data[8:16], "little"),
+        )
+
+    def to_json(self) -> dict[str, str]:
+        return {"trace_id": f"{self.trace_id:016x}", "span_id": f"{self.span_id:016x}"}
+
+    @classmethod
+    def from_json(cls, doc: dict[str, str] | None) -> "TraceContext | None":
+        if not doc:
+            return None
+        try:
+            return cls(int(doc["trace_id"], 16), int(doc["span_id"], 16))
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
 class Span:
-    """One timed interval; records its parent at open time."""
+    """One timed interval; records its parent (local or remote) at open time."""
 
     __slots__ = (
-        "tracer", "name", "span_id", "parent_id", "attrs",
-        "start_ns", "end_ns", "status",
+        "tracer", "name", "trace_id", "span_id", "parent_id", "attrs",
+        "start_ns", "end_ns", "status", "thread_id", "children_us",
     )
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: dict[str, Any],
+        parent: TraceContext | None = None,
+    ):
         self.tracer = tracer
         self.name = name
-        self.span_id = next(tracer._ids)
-        self.parent_id = tracer._stack[-1].span_id if tracer._stack else None
+        self.span_id = tracer._next_id()
+        stack = tracer._stack()
+        if parent is not None:
+            # explicitly propagated (possibly from another process)
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+        elif stack:
+            self.trace_id = stack[-1].trace_id
+            self.parent_id = stack[-1].span_id
+        else:
+            self.trace_id = tracer._next_id()  # root: fresh trace
+            self.parent_id = None
         self.attrs = attrs
         self.start_ns = 0
         self.end_ns = 0
         self.status = "ok"
+        self.thread_id = 0
+        self.children_us: dict[str, float] | None = None
 
     @property
     def elapsed_us(self) -> float:
         return (self.end_ns - self.start_ns) / 1000.0
 
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(self.trace_id, self.span_id)
+
     def set(self, **attrs: Any) -> None:
         self.attrs.update(attrs)
 
+    def child_total_us(self) -> float:
+        """Total time this span's direct children accounted for."""
+        return sum(self.children_us.values()) if self.children_us else 0.0
+
+    def guilty_segment(self) -> tuple[str, float]:
+        """The direct child segment that cost the most, ``(name, us)``.
+
+        When no child accounts for the time (a leaf span, or the span's
+        own self-time dominates), the guilty segment is ``("self", ...)``.
+        """
+        self_us = self.elapsed_us - self.child_total_us()
+        best, best_us = "self", self_us
+        for name, us in (self.children_us or {}).items():
+            if us > best_us:
+                best, best_us = name, us
+        return best, best_us
+
     def __enter__(self) -> "Span":
-        self.tracer._stack.append(self)
+        self.tracer._stack().append(self)
+        self.thread_id = threading.get_ident()
         self.start_ns = time.perf_counter_ns()
         return self
 
@@ -76,40 +180,114 @@ class Span:
         if exc_type is not None:
             self.status = "error"
             self.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
-        stack = self.tracer._stack
+        stack = self.tracer._stack()
         if stack and stack[-1] is self:
             stack.pop()
+        if stack and stack[-1].span_id == self.parent_id:
+            parent = stack[-1]
+            if parent.children_us is None:
+                parent.children_us = {}
+            parent.children_us[self.name] = (
+                parent.children_us.get(self.name, 0.0) + self.elapsed_us
+            )
         self.tracer._finished.append(self)
         return False
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        doc = {
+            "trace_id": f"{self.trace_id:016x}",
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,
+            "service": self.tracer.service,
+            "thread_id": self.thread_id,
             "start_ns": self.start_ns,
             "elapsed_us": self.elapsed_us,
             "status": self.status,
             "attrs": dict(self.attrs),
         }
+        if self.children_us:
+            doc["children_us"] = {
+                k: round(v, 3) for k, v in self.children_us.items()
+            }
+        return doc
 
 
 class Tracer:
-    """Owns the active-span stack and the finished-span ring buffer."""
+    """Owns the thread-local active-span stacks and the finished ring buffer."""
 
-    def __init__(self, capacity: int = 4096, enabled: bool = False):
+    def __init__(
+        self, capacity: int = 4096, enabled: bool = False, service: str = "main"
+    ):
         self.enabled = enabled
+        #: which process/component this tracer reports for; the cluster
+        #: sets it to ``coord`` / ``worker<N>`` before running
+        self.service = service
+        # span ids must be unique *across processes* so merged collections
+        # stitch without collisions: 31 random high bits (xor'd with the
+        # pid, so spawn'd children never share a prefix) over a counter
+        self._id_hi = (
+            int.from_bytes(os.urandom(4), "big") ^ os.getpid()
+        ) & 0x7FFF_FFFF
         self._ids = itertools.count(1)
-        self._stack: list[Span] = []
+        self._tls = threading.local()
         self._finished: deque[Span] = deque(maxlen=capacity)
 
-    def span(self, name: str, **attrs: Any):
+    # ----- identity ---------------------------------------------------------
+
+    def _next_id(self) -> int:
+        return (self._id_hi << 32) | (next(self._ids) & 0xFFFF_FFFF)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def current(self) -> TraceContext | None:
+        """The active span's propagation context (this thread), if any."""
+        stack = getattr(self._tls, "stack", None)
+        if not stack:
+            return None
+        return stack[-1].context
+
+    def reserve_context(self) -> TraceContext:
+        """Allocate a trace/span identity without opening a live span.
+
+        The cluster coordinator reserves its root identity up front, hands
+        it to every worker as their remote parent, and only synthesises
+        the root span document at the end of the run - necessary because
+        inline mode resets the telemetry between workers, which would
+        destroy any span held open across the whole run.
+        """
+        return TraceContext(self._next_id(), self._next_id())
+
+    # ----- span lifecycle ---------------------------------------------------
+
+    def span(self, name: str, parent: TraceContext | None = None, **attrs: Any):
         if not self.enabled:
             return NULL_SPAN
-        return Span(self, name, attrs)
+        return Span(self, name, attrs, parent=parent)
+
+    def resize(self, capacity: int) -> None:
+        """Grow/shrink the finished-span ring buffer, keeping newest spans."""
+        if capacity != self._finished.maxlen:
+            self._finished = deque(self._finished, maxlen=capacity)
+
+    @property
+    def capacity(self) -> int:
+        return self._finished.maxlen or 0
 
     def reset(self) -> None:
-        self._stack.clear()
+        """Drop recorded spans and this thread's active stack.
+
+        Other threads' stacks are left alone - a reset racing a pump
+        thread must not corrupt that thread's nesting; its spans simply
+        re-root in the fresh buffer.
+        """
+        stack = getattr(self._tls, "stack", None)
+        if stack:
+            stack.clear()
         self._finished.clear()
 
     def finished(self) -> list[Span]:
@@ -121,26 +299,39 @@ class Tracer:
 
     def render_tree(self) -> str:
         """Indented text rendering of the recorded span forest."""
-        spans = list(self._finished)
-        children: dict[int | None, list[Span]] = {}
-        ids = {span.span_id for span in spans}
-        for span in spans:
-            # a parent evicted from the ring buffer orphans its subtree
-            parent = span.parent_id if span.parent_id in ids else None
-            children.setdefault(parent, []).append(span)
-        lines: list[str] = []
+        return render_span_tree(self.to_json())
 
-        def walk(parent: int | None, depth: int) -> None:
-            for span in sorted(children.get(parent, []), key=lambda s: s.start_ns):
-                attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
-                lines.append(
-                    f"{'  ' * depth}{span.name} {span.elapsed_us:.1f}us"
-                    + (f" [{attrs}]" if attrs else "")
-                )
-                walk(span.span_id, depth + 1)
 
-        walk(None, 0)
-        return "\n".join(lines)
+def render_span_tree(span_docs: list[dict[str, Any]]) -> str:
+    """Indented text rendering of a span-document forest.
+
+    Works on exported/merged documents too, so cross-process trees render
+    the same way local ones do.  A parent evicted from the ring buffer
+    (or living in a collection that wasn't merged) orphans its subtree,
+    which then renders at the root.
+    """
+    ids = {doc["span_id"] for doc in span_docs}
+    children: dict[int | None, list[dict]] = {}
+    for doc in span_docs:
+        parent = doc["parent_id"] if doc["parent_id"] in ids else None
+        children.setdefault(parent, []).append(doc)
+    lines: list[str] = []
+
+    def walk(parent: int | None, depth: int) -> None:
+        for doc in sorted(
+            children.get(parent, []), key=lambda d: (d["start_ns"], d["span_id"])
+        ):
+            attrs = " ".join(f"{k}={v}" for k, v in doc.get("attrs", {}).items())
+            service = doc.get("service", "")
+            tag = f" <{service}>" if service and service != "main" else ""
+            lines.append(
+                f"{'  ' * depth}{doc['name']} {doc['elapsed_us']:.1f}us{tag}"
+                + (f" [{attrs}]" if attrs else "")
+            )
+            walk(doc["span_id"], depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)
 
 
 def traced(name: str | None = None, tracer: Tracer | None = None):

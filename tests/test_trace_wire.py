@@ -1,0 +1,136 @@
+"""Trace-context propagation through the batching and E2 wire formats."""
+
+import pytest
+
+from repro import obs
+from repro.e2.batch import (
+    E2BatchError,
+    decode_batch_entry,
+    decode_batch_entry_ex,
+    encode_batch_entry,
+    iter_batch_frame,
+    iter_batch_frame_ex,
+)
+from repro.netio.batching import (
+    BATCH_MAGIC,
+    BATCH_MAGIC_TRACED,
+    BatchSender,
+    batch_trace,
+    is_batch,
+    is_traced_batch,
+    pack_batch,
+    unpack_batch,
+)
+from repro.netio.bus import InProcNetwork
+from repro.obs import OBS
+from repro.obs.tracing import TraceContext
+
+
+@pytest.fixture
+def telemetry():
+    obs.enable()
+    obs.reset()
+    yield OBS
+    obs.reset()
+    obs.disable()
+
+
+CTX = TraceContext(0x0102030405060708, 0x1112131415161718)
+
+
+class TestTracedBatchFrames:
+    def test_untraced_bytes_unchanged(self):
+        frame = pack_batch([b"a", b"bb"])
+        assert frame[:4] == BATCH_MAGIC.to_bytes(4, "little")
+        assert unpack_batch(frame) == [b"a", b"bb"]
+        assert batch_trace(frame) is None
+        assert not is_traced_batch(frame)
+
+    def test_traced_roundtrip(self):
+        frame = pack_batch([b"a", b"bb"], ctx=CTX)
+        assert frame[:4] == BATCH_MAGIC_TRACED.to_bytes(4, "little")
+        assert is_batch(frame) and is_traced_batch(frame)
+        assert unpack_batch(frame) == [b"a", b"bb"]
+        assert batch_trace(frame) == CTX
+
+    def test_traced_without_ctx_uses_zero_sentinel(self):
+        frame = pack_batch([b"x"], traced=True)
+        assert is_traced_batch(frame)
+        assert batch_trace(frame) is None  # all-zero ctx means "no parent"
+        assert unpack_batch(frame) == [b"x"]
+
+    def test_header_overhead_is_exactly_ctx_len(self):
+        plain = pack_batch([b"payload"])
+        traced = pack_batch([b"payload"], ctx=CTX)
+        assert len(traced) - len(plain) == TraceContext.WIRE_LEN
+
+    def test_sender_emits_traced_frames_inside_span(self, telemetry):
+        net = InProcNetwork()
+        sender = BatchSender(net.endpoint("w"), "coord")
+        sink = net.endpoint("coord")
+        with telemetry.tracer.span("worker.slot", slot=7) as slot:
+            sender.offer(b"data")
+            sender.flush()
+            expected = slot.context
+        _src, frame = sink.recv()
+        assert batch_trace(frame) == expected
+        names = [s.name for s in telemetry.tracer.finished()]
+        assert "uplink.flush" in names
+
+    def test_sender_untraced_when_disabled(self):
+        net = InProcNetwork()
+        sender = BatchSender(net.endpoint("w"), "coord")
+        sink = net.endpoint("coord")
+        sender.offer(b"data")
+        sender.flush()
+        _src, frame = sink.recv()
+        assert not is_traced_batch(frame)
+
+    def test_queue_wait_histogram_recorded(self, telemetry):
+        net = InProcNetwork()
+        sender = BatchSender(net.endpoint("w"), "coord")
+        net.endpoint("coord")
+        sender.offer(b"data")
+        sender.flush()
+        snap = telemetry.registry.histogram(
+            "waran_uplink_queue_wait_us", ""
+        ).snapshot()
+        assert snap["count"] == 1
+        assert snap["min"] >= 0
+
+
+class TestTracedE2Entries:
+    def test_v1_roundtrip_unchanged(self):
+        entry = encode_batch_entry("cell3", b"\xe2\x01payload")
+        assert decode_batch_entry(entry) == ("cell3", b"\xe2\x01payload")
+        # v1 payloads may start with any byte; no sniffing happens
+        node, payload, ctx = decode_batch_entry_ex(entry, traced=False)
+        assert (node, payload, ctx) == ("cell3", b"\xe2\x01payload", None)
+
+    def test_v2_roundtrip_with_ctx(self):
+        entry = encode_batch_entry("cell3", b"payload", ctx=CTX)
+        node, payload, ctx = decode_batch_entry_ex(entry, traced=True)
+        assert (node, payload, ctx) == ("cell3", b"payload", CTX)
+        assert decode_batch_entry(entry, traced=True) == ("cell3", b"payload")
+
+    def test_v2_without_ctx(self):
+        entry = encode_batch_entry("cell3", b"payload", traced=True)
+        node, payload, ctx = decode_batch_entry_ex(entry, traced=True)
+        assert (node, payload, ctx) == ("cell3", b"payload", None)
+
+    def test_truncated_ctx_rejected(self):
+        entry = encode_batch_entry("n", b"", ctx=CTX)[:-20]
+        with pytest.raises(E2BatchError):
+            decode_batch_entry_ex(entry, traced=True)
+
+    def test_frame_magic_selects_entry_layout(self):
+        v1 = encode_batch_entry("n", b"data")
+        v2 = encode_batch_entry("n", b"data", ctx=CTX)
+        plain_frame = pack_batch([v1])
+        traced_frame = pack_batch([v2], ctx=CTX)
+        assert list(iter_batch_frame(plain_frame)) == [("n", b"data")]
+        assert list(iter_batch_frame(traced_frame)) == [("n", b"data")]
+        [(node, payload, ctx)] = iter_batch_frame_ex(traced_frame)
+        assert (node, payload, ctx) == ("n", b"data", CTX)
+        [(node, payload, ctx)] = iter_batch_frame_ex(plain_frame)
+        assert ctx is None

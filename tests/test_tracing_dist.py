@@ -1,0 +1,360 @@
+"""Distributed tracing: context propagation, thread-local stacks, export."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import OBS
+from repro.obs.traceexport import (
+    TraceExportError,
+    chrome_trace,
+    merge_span_collections,
+    trace_digest,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracing import TraceContext, Tracer, render_span_tree
+
+
+@pytest.fixture
+def telemetry():
+    obs.enable()
+    obs.reset()
+    yield OBS
+    obs.reset()
+    obs.disable()
+
+
+# ---------------------------------------------------------------------------
+# trace context
+# ---------------------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_wire_roundtrip(self):
+        ctx = TraceContext(0x1122334455667788, 0x99AABBCCDDEEFF00)
+        packed = ctx.pack()
+        assert len(packed) == TraceContext.WIRE_LEN
+        assert TraceContext.unpack(packed) == ctx
+
+    def test_short_wire_rejected(self):
+        with pytest.raises(ValueError):
+            TraceContext.unpack(b"\x00" * 15)
+
+    def test_json_roundtrip(self):
+        ctx = TraceContext(7, 13)
+        assert TraceContext.from_json(ctx.to_json()) == ctx
+
+    def test_json_garbage_is_none(self):
+        assert TraceContext.from_json(None) is None
+        assert TraceContext.from_json({}) is None
+        assert TraceContext.from_json({"trace_id": "zz", "span_id": "1"}) is None
+
+
+# ---------------------------------------------------------------------------
+# span identity and cross-process parenting
+# ---------------------------------------------------------------------------
+
+
+class TestDistributedSpans:
+    def test_span_ids_globally_prefixed(self):
+        t = Tracer(enabled=True)
+        with t.span("a") as a, t.span("b") as b:
+            assert a.span_id != b.span_id
+            assert a.span_id >> 32 == b.span_id >> 32  # same process prefix
+
+    def test_two_tracers_never_collide(self):
+        t1, t2 = Tracer(enabled=True), Tracer(enabled=True)
+        ids = set()
+        for t in (t1, t2):
+            for _ in range(100):
+                with t.span("s") as s:
+                    ids.add(s.span_id)
+        assert len(ids) == 200
+
+    def test_remote_parent_adopts_trace(self):
+        t1, t2 = Tracer(enabled=True), Tracer(enabled=True)
+        with t1.span("parent") as p:
+            ctx = p.context
+        with t2.span("child", parent=ctx) as c:
+            assert c.trace_id == ctx.trace_id
+            assert c.parent_id == ctx.span_id
+
+    def test_root_starts_fresh_trace(self):
+        t = Tracer(enabled=True)
+        with t.span("a") as a:
+            pass
+        with t.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_reserve_context_parents_without_live_span(self):
+        t = Tracer(enabled=True)
+        root = t.reserve_context()
+        with t.span("w", parent=root) as w:
+            pass
+        assert w.parent_id == root.span_id
+        assert w.trace_id == root.trace_id
+
+    def test_children_us_accumulates_by_name(self):
+        t = Tracer(enabled=True)
+        with t.span("slot") as slot:
+            with t.span("work"):
+                pass
+            with t.span("work"):
+                pass
+        assert set(slot.children_us) == {"work"}
+        assert slot.children_us["work"] <= slot.elapsed_us
+        assert slot.child_total_us() == pytest.approx(
+            slot.children_us["work"]
+        )
+
+    def test_guilty_segment_names_biggest_child(self):
+        t = Tracer(enabled=True)
+        with t.span("slot") as slot:
+            with t.span("fast"):
+                pass
+            with t.span("slow"):
+                for _ in range(2000):
+                    pass
+        name, us = slot.guilty_segment()
+        assert name in ("slow", "self")  # self-time can win on tiny spans
+        assert us > 0
+
+
+# ---------------------------------------------------------------------------
+# thread-local active-span stacks
+# ---------------------------------------------------------------------------
+
+
+class TestThreadLocalStacks:
+    def test_threads_do_not_cross_parent(self):
+        t = Tracer(enabled=True, capacity=10_000)
+        errors: list[str] = []
+
+        def worker(tag: str) -> None:
+            for i in range(200):
+                with t.span(f"outer-{tag}") as outer:
+                    with t.span(f"inner-{tag}") as inner:
+                        if inner.parent_id != outer.span_id:
+                            errors.append(
+                                f"{tag}[{i}]: parent {inner.parent_id} "
+                                f"!= {outer.span_id}"
+                            )
+
+        threads = [
+            threading.Thread(target=worker, args=(str(n),)) for n in range(4)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert errors == []
+        spans = t.finished()
+        assert len(spans) == 4 * 200 * 2
+        # every inner span parents under an outer span of the same tag
+        by_id = {s.span_id: s for s in spans}
+        for s in spans:
+            if s.name.startswith("inner"):
+                parent = by_id[s.parent_id]
+                assert parent.name == "outer-" + s.name.split("-")[1]
+
+    def test_reset_leaves_other_threads_stacks_alone(self):
+        t = Tracer(enabled=True)
+        started = threading.Event()
+        release = threading.Event()
+        result: dict = {}
+
+        def worker() -> None:
+            with t.span("outer") as outer:
+                started.set()
+                release.wait(timeout=5)
+                with t.span("inner") as inner:
+                    result["ok"] = inner.parent_id == outer.span_id
+
+        th = threading.Thread(target=worker)
+        th.start()
+        started.wait(timeout=5)
+        t.reset()  # must not corrupt the worker thread's nesting
+        release.set()
+        th.join()
+        assert result["ok"] is True
+
+
+# ---------------------------------------------------------------------------
+# span-tree rendering edge cases
+# ---------------------------------------------------------------------------
+
+
+class TestTreeEdgeCases:
+    def test_evicted_parent_orphans_subtree_to_root(self):
+        t = Tracer(enabled=True, capacity=2)
+        with t.span("parent"):
+            with t.span("child-a"):
+                pass
+            with t.span("child-b"):
+                pass
+        # capacity 2: "parent" (finishing last) plus the newest child
+        # survive... actually children finish first; ring keeps the last 2
+        docs = t.to_json()
+        assert len(docs) == 2
+        tree = render_span_tree(docs)
+        # whatever survived renders without crashing, orphans at root
+        for doc in docs:
+            assert doc["name"] in tree
+
+    def test_orphan_renders_at_root_level(self):
+        docs = [
+            {
+                "span_id": 2,
+                "parent_id": 999,  # evicted parent
+                "name": "orphan",
+                "elapsed_us": 5.0,
+                "start_ns": 10,
+                "attrs": {},
+            },
+            {
+                "span_id": 3,
+                "parent_id": 2,
+                "name": "grandchild",
+                "elapsed_us": 1.0,
+                "start_ns": 11,
+                "attrs": {},
+            },
+        ]
+        tree = render_span_tree(docs)
+        lines = tree.splitlines()
+        assert lines[0].startswith("orphan")  # no indent: rooted
+        assert lines[1].startswith("  grandchild")  # still nested under it
+
+    def test_nested_spans_across_reset_reroot(self, telemetry):
+        t = telemetry.tracer
+        with t.span("outer") as outer:
+            t.reset()  # mid-span reset (inline cluster does this per worker)
+            with t.span("inner") as inner:
+                pass
+        # the reset popped "outer" off the active stack, so "inner"
+        # re-rooted as a fresh trace instead of corrupting parentage
+        assert inner.parent_id is None
+        assert inner.trace_id != outer.trace_id
+        docs = t.to_json()
+        names = {d["name"] for d in docs}
+        assert names == {"inner", "outer"}  # both land in the new buffer
+        render_span_tree(docs)  # and the forest still renders
+
+
+# ---------------------------------------------------------------------------
+# export: merge, chrome trace, digest
+# ---------------------------------------------------------------------------
+
+
+def _collections():
+    coord, w0 = Tracer(enabled=True, service="coord"), Tracer(enabled=True)
+    root = coord.reserve_context()
+    with w0.span("worker.run", parent=root):
+        with w0.span("worker.slot", slot=0):
+            with w0.span("gnb.step"):
+                pass
+    with coord.span("coord.drain"):
+        pass
+    root_doc = {
+        "trace_id": f"{root.trace_id:016x}",
+        "span_id": root.span_id,
+        "parent_id": None,
+        "name": "cluster.run",
+        "service": "coord",
+        "thread_id": 0,
+        "start_ns": 0,
+        "elapsed_us": 100.0,
+        "status": "ok",
+        "attrs": {},
+    }
+    return [
+        ("coord", coord.to_json() + [root_doc]),
+        ("worker0", w0.to_json()),
+    ]
+
+
+class TestExport:
+    def test_merge_stamps_service_and_dedups(self):
+        merged = merge_span_collections(_collections())
+        services = {d["service"] for d in merged}
+        assert services == {"coord", "worker0"}
+        ids = [d["span_id"] for d in merged]
+        assert len(ids) == len(set(ids))
+        # shipping the same collection twice must not duplicate spans
+        cols = _collections()
+        twice = merge_span_collections(cols + cols[:1])
+        assert len(twice) == len(merge_span_collections(cols))
+
+    def test_merge_rejects_idless_span(self):
+        with pytest.raises(TraceExportError):
+            merge_span_collections([("x", [{"name": "no-id"}])])
+
+    def test_cross_process_tree_stitches(self):
+        merged = merge_span_collections(_collections())
+        tree = render_span_tree(merged)
+        lines = tree.splitlines()
+        root_line = next(
+            i for i, l in enumerate(lines) if l.startswith("cluster.run")
+        )
+        assert lines[root_line + 1].startswith("  worker.run")
+        assert lines[root_line + 2].startswith("    worker.slot")
+
+    def test_chrome_trace_golden_shape(self, tmp_path):
+        merged = merge_span_collections(_collections())
+        doc = chrome_trace(merged)
+        assert validate_chrome_trace(doc) == len(merged)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["args"]["name"] for e in meta} == {"coord", "worker0"}
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        for event in complete:
+            for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+                assert key in event
+            assert event["dur"] >= 0
+            assert event["ts"] >= 0  # per-service re-basing
+        # the file roundtrips through json and still validates
+        path = tmp_path / "trace.json"
+        n = write_chrome_trace(str(path), merged)
+        assert n == len(doc["traceEvents"])
+        assert validate_chrome_trace(json.loads(path.read_text())) == len(
+            merged
+        )
+
+    def test_validate_rejects_malformed(self):
+        with pytest.raises(TraceExportError):
+            validate_chrome_trace({"traceEvents": []})
+        with pytest.raises(TraceExportError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "name": "x", "ts": 0}]}
+            )
+        with pytest.raises(TraceExportError):
+            validate_chrome_trace(
+                {
+                    "traceEvents": [
+                        {
+                            "ph": "X",
+                            "name": "x",
+                            "ts": 0,
+                            "dur": -1,
+                            "pid": 1,
+                            "tid": 1,
+                        }
+                    ]
+                }
+            )
+
+    def test_digest_stable_across_runs_but_structure_sensitive(self):
+        d1 = trace_digest(merge_span_collections(_collections()))
+        d2 = trace_digest(merge_span_collections(_collections()))
+        assert d1 == d2  # ids and timings differ; structure does not
+        extra = merge_span_collections(_collections())
+        extra.append(dict(extra[0], span_id=1, name="rogue"))
+        assert trace_digest(extra) != d1
+
+    def test_digest_ignores_float_attrs(self):
+        docs = merge_span_collections(_collections())
+        stamped = [dict(d, attrs=dict(d["attrs"], t=1.23)) for d in docs]
+        assert trace_digest(stamped) == trace_digest(docs)

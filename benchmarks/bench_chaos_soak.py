@@ -22,7 +22,7 @@ SLOTS = 10_000
 
 
 @pytest.mark.benchmark(group="chaos-soak")
-@pytest.mark.parametrize("engine", ["legacy", "threaded"])
+@pytest.mark.parametrize("engine", ["legacy", "threaded", "aot"])
 def test_chaos_soak_10k_slots(benchmark, engine):
     reports = []
 
@@ -41,7 +41,7 @@ def test_chaos_soak_10k_slots(benchmark, engine):
 
 
 @pytest.mark.benchmark(group="chaos-soak")
-@pytest.mark.parametrize("engine", ["legacy", "threaded"])
+@pytest.mark.parametrize("engine", ["legacy", "threaded", "aot"])
 def test_chaos_soak_deterministic(benchmark, engine):
     """Same seed, two runs: the fault/event logs must be byte-identical."""
 

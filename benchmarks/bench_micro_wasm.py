@@ -50,7 +50,7 @@ MEMCPY = """
 """
 
 
-ENGINES = ["legacy", "threaded"]
+ENGINES = ["legacy", "threaded", "aot"]
 
 
 @pytest.mark.benchmark(group="micro-wasm")

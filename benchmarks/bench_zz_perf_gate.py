@@ -18,7 +18,7 @@ hiccup owns the top percentile, while a real regression shifts p50 too.
 
 import pytest
 
-from benchmarks.conftest import perf_gate_violations
+from benchmarks.conftest import aot_gate_violations, perf_gate_violations
 
 
 @pytest.mark.benchmark(group="perf-gate")
@@ -28,3 +28,16 @@ def test_plugin_call_time_did_not_regress(benchmark):
     assert not violations, "perf regression vs BENCH_obs.json:\n" + "\n".join(
         violations
     )
+
+
+@pytest.mark.benchmark(group="perf-gate")
+def test_aot_tier_holds_its_speedup(benchmark):
+    """The aot engine must stay >=2x threaded (geomean, micro suite).
+
+    Ratio-based — both engines are timed in this same session — so it
+    holds on shared runners; ``WARAN_PERF_GATE[_TOLERANCE]`` applies as
+    usual.  Also guards against regressing the committed ``BENCH_aot.json``
+    geomean.
+    """
+    violations = benchmark.pedantic(aot_gate_violations, rounds=1, iterations=1)
+    assert not violations, "aot tier perf gate:\n" + "\n".join(violations)

@@ -32,6 +32,7 @@ BENCH_OBS_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.jso
 BENCH_THREADED_PATH = (
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_threaded.json"
 )
+BENCH_AOT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_aot.json"
 
 _ran_benchmarks = False
 
@@ -86,6 +87,12 @@ def pytest_sessionfinish(session, exitstatus):
         BENCH_THREADED_PATH.write_text(
             json.dumps(threaded_doc, indent=2, sort_keys=True) + "\n"
         )
+    aot_doc = aot_tier_report()
+    if aot_doc["micro"]:
+        aot_doc["written_unix"] = int(time.time())
+        BENCH_AOT_PATH.write_text(
+            json.dumps(aot_doc, indent=2, sort_keys=True) + "\n"
+        )
 
 
 def engine_comparison_report() -> dict:
@@ -101,16 +108,7 @@ def engine_comparison_report() -> dict:
     from repro.wasm.threaded import resolve_engine
 
     reg = obs.OBS.registry
-    per_engine: dict[str, dict[str, float]] = {}
-    mean_us = reg.get("waran_bench_mean_us")
-    if mean_us is not None:
-        for key, child in mean_us.series():
-            name = dict(key).get("bench", "")
-            m = re.fullmatch(r"(.+)\[(?:(.*)-)?(legacy|threaded)\]", name)
-            if not m:
-                continue
-            base = m.group(1) + (f"[{m.group(2)}]" if m.group(2) else "")
-            per_engine.setdefault(base, {})[m.group(3)] = child[0]
+    per_engine = _micro_means_per_engine()
     micro = {}
     for base, engines in sorted(per_engine.items()):
         row = {f"{e}_mean_us": round(v, 2) for e, v in engines.items()}
@@ -137,6 +135,96 @@ def engine_comparison_report() -> dict:
         "fig5d": fig5d,
         "codecache": cache_stats(),
     }
+
+
+def _micro_means_per_engine() -> dict[str, dict[str, float]]:
+    """``{bench_base: {engine: mean_us}}`` from the live registry."""
+    per_engine: dict[str, dict[str, float]] = {}
+    mean_us = obs.OBS.registry.get("waran_bench_mean_us")
+    if mean_us is not None:
+        for key, child in mean_us.series():
+            name = dict(key).get("bench", "")
+            m = re.fullmatch(r"(.+)\[(?:(.*)-)?(legacy|threaded|aot)\]", name)
+            if not m:
+                continue
+            base = m.group(1) + (f"[{m.group(2)}]" if m.group(2) else "")
+            per_engine.setdefault(base, {})[m.group(3)] = child[0]
+    return per_engine
+
+
+def aot_tier_report() -> dict:
+    """Three-engine side-by-side (legacy/threaded/aot) from the registry.
+
+    One row per engine-parametrized microbench with all three means and
+    the aot speedups; ``geomean_aot_vs_threaded`` over the rows where
+    both compiled tiers ran is the headline the perf gate judges.
+    """
+    import math
+
+    from repro.wasm.codecache import stats as cache_stats
+
+    micro = {}
+    ratios = []
+    for base, engines in sorted(_micro_means_per_engine().items()):
+        row = {f"{e}_mean_us": round(v, 2) for e, v in engines.items()}
+        aot = engines.get("aot")
+        if aot:
+            if engines.get("legacy"):
+                row["speedup_aot_vs_legacy"] = round(engines["legacy"] / aot, 2)
+            if engines.get("threaded"):
+                ratio = engines["threaded"] / aot
+                row["speedup_aot_vs_threaded"] = round(ratio, 2)
+                ratios.append(ratio)
+        micro[base] = row
+    geomean = (
+        math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        if ratios
+        else None
+    )
+    return {
+        "schema": "waran-bench-aot/1",
+        "micro": micro,
+        "geomean_aot_vs_threaded": round(geomean, 3) if geomean else None,
+        "codecache": cache_stats(),
+    }
+
+
+#: floor for the aot tier: >=2x over threaded, geomean across the micro suite
+AOT_SPEEDUP_FLOOR = 2.0
+
+
+def aot_gate_violations() -> list[str]:
+    """Gate the aot tier: live aot-vs-threaded geomean over the micro suite.
+
+    Both sides of every ratio are measured in the *same* session on the
+    same machine, so — unlike the absolute-time gate above — this holds on
+    noisy shared runners too.  Violations: geomean below the 2x floor, or
+    below the committed ``BENCH_aot.json`` baseline, each divided by
+    ``WARAN_PERF_GATE_TOLERANCE``.
+    """
+    if os.environ.get(GATE_ENV, "").lower() in ("off", "0", "false"):
+        return []
+    tolerance = float(os.environ.get(GATE_TOLERANCE_ENV, "1.25"))
+    live = aot_tier_report()
+    geomean = live.get("geomean_aot_vs_threaded")
+    if geomean is None:
+        return []  # aot micro rows not measured this session
+    violations = []
+    if geomean < AOT_SPEEDUP_FLOOR / tolerance:
+        violations.append(
+            f"aot tier geomean speedup vs threaded is {geomean:.2f}x, "
+            f"below the {AOT_SPEEDUP_FLOOR}x floor (tolerance x{tolerance})"
+        )
+    if BENCH_AOT_PATH.exists():
+        baseline = json.loads(BENCH_AOT_PATH.read_text())
+        base_geomean = baseline.get("geomean_aot_vs_threaded")
+        if base_geomean and geomean < base_geomean / tolerance:
+            violations.append(
+                f"aot tier geomean speedup vs threaded regressed: "
+                f"{geomean:.2f}x vs baseline {base_geomean:.2f}x "
+                f"(> x{tolerance})"
+            )
+    return violations
 
 
 # ---------------------------------------------------------------------------

@@ -82,10 +82,28 @@ def _cmd_disasm(args) -> int:
             from repro.wasm.threaded import dump_threaded
 
             print(dump_threaded(raw))
+        elif args.aot:
+            from repro.wasm.aot import dump_aot
+
+            print(dump_aot(raw, fueled=args.fueled))
         else:
             print(disassemble(raw))
     except BrokenPipeError:  # e.g. `waran disasm x.wasm | head`
         pass
+    return 0
+
+
+def _cmd_aot(args) -> int:
+    from repro.wasm.aot import dump_aot
+
+    raw = open(args.dump, "rb").read()
+    text = dump_aot(raw, fueled=args.fueled)
+    out = args.output or args.dump.rsplit(".", 1)[0] + ".aot.py"
+    with open(out, "w", encoding="utf-8") as f:
+        f.write(text)
+        if not text.endswith("\n"):
+            f.write("\n")
+    print(f"{args.dump} -> {out} ({len(text.splitlines())} lines)")
     return 0
 
 
@@ -535,7 +553,33 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="dump the threaded-code lowering (slots, fuel costs, fusions)",
     )
+    p.add_argument(
+        "--aot",
+        action="store_true",
+        help="dump the AOT lowering: generated Python next to the Wasm body",
+    )
+    p.add_argument(
+        "--fueled",
+        action="store_true",
+        help="with --aot: dump the fuel-metered variant of the source",
+    )
     p.set_defaults(fn=_cmd_disasm)
+
+    p = sub.add_parser(
+        "aot",
+        help="AOT tier utilities: dump generated Python source to a file",
+        description="Compiles every function of a Wasm module to Python "
+        "source (the aot engine tier) and writes the annotated listing to "
+        "a file for inspection and debugging.",
+    )
+    p.add_argument("--dump", metavar="MODULE.wasm", required=True)
+    p.add_argument("-o", "--output", help="default: <module>.aot.py")
+    p.add_argument(
+        "--fueled",
+        action="store_true",
+        help="dump the fuel-metered variant of the source",
+    )
+    p.set_defaults(fn=_cmd_aot)
 
     p = sub.add_parser("plugins", help="list shipped plugins")
     p.set_defaults(fn=_cmd_plugins)
@@ -572,7 +616,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--slots", type=int, default=10_000)
     p.add_argument(
         "--engine",
-        choices=["legacy", "threaded"],
+        choices=["legacy", "threaded", "aot"],
         default=None,
         help="Wasm engine (default: REPRO_WASM_ENGINE or threaded)",
     )
@@ -651,7 +695,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--engine",
-        choices=["legacy", "threaded"],
+        choices=["legacy", "threaded", "aot"],
         default=None,
         help="Wasm engine (default: REPRO_WASM_ENGINE or threaded)",
     )
@@ -703,7 +747,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--engine",
-        choices=["legacy", "threaded"],
+        choices=["legacy", "threaded", "aot"],
         default=None,
         help="Wasm engine (default: REPRO_WASM_ENGINE or threaded)",
     )
@@ -746,8 +790,9 @@ def main(argv: list[str] | None = None) -> int:
         "fuzz",
         help="generative differential fuzzing of the Wasm engines",
         description="Generates seeded arbitrary-but-valid Wasm modules and "
-        "runs each under the legacy engine, the threaded engine, and a "
-        "checkpoint/restore round trip, requiring identical results, trap "
+        "runs each under the legacy, threaded and aot engines plus "
+        "cross-engine checkpoint/restore round trips, requiring identical "
+        "results, trap "
         "codes, fuel and exec stats; a fraction of iterations corrupt the "
         "binary instead and assert the decoder/validator reject it cleanly. "
         "Failures are shrunk to minimal corpus reproducers.  The campaign "

@@ -6,7 +6,7 @@ rejected with a :class:`~repro.wasm.traps.WasmError` subclass — never an
 ``IndexError`` out of the LEB reader, never a ``MemoryError`` from an
 attacker-chosen allocation size, never an unclassified crash.  Mutants
 that still decode and validate get pushed all the way through the
-differential oracle, so near-miss binaries also exercise both engines.
+differential oracle, so near-miss binaries also exercise every engine.
 """
 
 from __future__ import annotations

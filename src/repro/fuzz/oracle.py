@@ -1,17 +1,18 @@
 """The differential conformance oracle.
 
-Every fuzz case runs through four legs that must agree observation-for-
-observation:
+Every fuzz case runs through a three-way engine differential whose legs
+must agree observation-for-observation:
 
 1. the **legacy** engine, full call plan;
 2. the **threaded** engine, full call plan;
-3. **checkpoint/restore**: the threaded run captures
-   :class:`~repro.wasm.instance.InstanceState` mid-plan; a fresh instance
-   restores it and re-runs the tail — the tail outcomes must match the
+3. the **aot** engine (generated-Python tier), full call plan;
+4. **checkpoint/restore**: the threaded and aot runs capture
+   :class:`~repro.wasm.instance.InstanceState` mid-plan; fresh instances
+   restore it and re-run the tail — the tail outcomes must match the
    uninterrupted run;
-4. **cross-engine restore**: the state captured by the *legacy* run is
-   restored into a fresh *threaded* instance (and vice versa) and the tail
-   re-run.
+5. **cross-engine restore**: snapshots cross the engine boundary in both
+   directions along the ladder (legacy→threaded, threaded→legacy,
+   aot→threaded, legacy→aot) and the tail is re-run.
 
 Compared per call: result value (bit-exact for floats), trap code, fuel
 consumed, and :class:`~repro.wasm.interpreter.ExecStats`.  Compared at the
@@ -107,7 +108,7 @@ def run_trace(
     ``capture_at=k`` snapshots state just before call ``k``;
     ``restore_from`` writes a snapshot into the fresh instance before any
     calls (the restore-and-replay leg).  Instantiation failures are
-    recorded, not raised — both engines must fail identically.
+    recorded, not raised — every engine must fail identically.
     """
     trace = Trace(engine=engine)
     module = decode_module(wasm)
@@ -148,7 +149,7 @@ class DiffResult:
 
 
 def differential(wasm: bytes, calls: CallPlan, fuel: int = DEFAULT_FUEL) -> DiffResult:
-    """Run all four oracle legs; return the first divergence found (if any)."""
+    """Run every oracle leg; return the first divergence found (if any)."""
     split = len(calls) // 2
     legs: dict[str, Trace] = {}
 
@@ -157,38 +158,47 @@ def differential(wasm: bytes, calls: CallPlan, fuel: int = DEFAULT_FUEL) -> Diff
 
     legacy = run_trace(wasm, calls, "legacy", fuel, capture_at=split)
     threaded = run_trace(wasm, calls, "threaded", fuel, capture_at=split)
+    aot = run_trace(wasm, calls, "aot", fuel, capture_at=split)
     legs["legacy"] = legacy
     legs["threaded"] = threaded
+    legs["aot"] = aot
 
-    # -- leg 1 vs leg 2: full-plan agreement ---------------------------------
-    if legacy.instantiate_error or threaded.instantiate_error:
-        if legacy.instantiate_error != threaded.instantiate_error:
+    # -- legs 1-3: full-plan agreement (legacy is the reference) -------------
+    if legacy.instantiate_error or threaded.instantiate_error or aot.instantiate_error:
+        if (
+            legacy.instantiate_error != threaded.instantiate_error
+            or legacy.instantiate_error != aot.instantiate_error
+        ):
             return fail(
                 "instantiation divergence: legacy="
                 f"{legacy.instantiate_error!r} threaded="
-                f"{threaded.instantiate_error!r}"
+                f"{threaded.instantiate_error!r} aot="
+                f"{aot.instantiate_error!r}"
             )
         return DiffResult(True, None, legs, calls, fuel)
-    for i, (a, b) in enumerate(zip(legacy.outcomes, threaded.outcomes)):
-        if a != b:
-            return fail(f"call {i} ({calls[i][0]}): legacy={a} threaded={b}")
-    if legacy.final != threaded.final:
-        return fail(
-            f"final state divergence: legacy={legacy.final} "
-            f"threaded={threaded.final}"
-        )
-    if (legacy.checkpoint is None) != (threaded.checkpoint is None):
-        return fail("checkpoint taken in one engine only")
-    if legacy.checkpoint is not None and canon_state(legacy.checkpoint) != canon_state(
-        threaded.checkpoint
-    ):
-        return fail(
-            f"checkpoint state divergence at call {split}: "
-            f"legacy={canon_state(legacy.checkpoint)} "
-            f"threaded={canon_state(threaded.checkpoint)}"
-        )
+    for other in (threaded, aot):
+        for i, (a, b) in enumerate(zip(legacy.outcomes, other.outcomes)):
+            if a != b:
+                return fail(
+                    f"call {i} ({calls[i][0]}): legacy={a} {other.engine}={b}"
+                )
+        if legacy.final != other.final:
+            return fail(
+                f"final state divergence: legacy={legacy.final} "
+                f"{other.engine}={other.final}"
+            )
+        if (legacy.checkpoint is None) != (other.checkpoint is None):
+            return fail("checkpoint taken in one engine only")
+        if legacy.checkpoint is not None and canon_state(
+            legacy.checkpoint
+        ) != canon_state(other.checkpoint):
+            return fail(
+                f"checkpoint state divergence at call {split}: "
+                f"legacy={canon_state(legacy.checkpoint)} "
+                f"{other.engine}={canon_state(other.checkpoint)}"
+            )
 
-    # -- legs 3 and 4: restore-and-replay the tail ---------------------------
+    # -- restore-and-replay the tail, incl. cross-engine hops ----------------
     if legacy.checkpoint is not None:
         tail = calls[split:]
         expected = threaded.outcomes[split:]
@@ -196,6 +206,9 @@ def differential(wasm: bytes, calls: CallPlan, fuel: int = DEFAULT_FUEL) -> Diff
             ("restore-threaded", "threaded", threaded.checkpoint),
             ("restore-cross", "threaded", legacy.checkpoint),
             ("restore-legacy", "legacy", threaded.checkpoint),
+            ("restore-aot", "aot", aot.checkpoint),
+            ("restore-aot-to-threaded", "threaded", aot.checkpoint),
+            ("restore-legacy-to-aot", "aot", legacy.checkpoint),
         ):
             replay = run_trace(wasm, tail, engine, fuel, restore_from=snapshot)
             legs[leg_name] = replay

@@ -1,0 +1,1049 @@
+"""AOT backend: function bodies compiled to generated Python source.
+
+The threaded engine (:mod:`repro.wasm.threaded`) removed opcode dispatch
+by pre-binding one closure per instruction slot; the hot loop still pays
+one Python call per slot.  This module climbs the next rung of the
+interpreter->AOT ladder: each function body is *translated to Python
+source* and ``compile()``d once, so a Wasm function becomes a single
+Python function call with no per-instruction dispatch at all.
+
+Lowering rules
+--------------
+
+- **Stack slots become local variables.**  Validated Wasm has a fixed
+  operand-stack height at every reachable program point (the same static
+  analysis the threaded engine uses), so the value at height ``i`` simply
+  lives in the Python local ``s{i}``; Wasm locals live in ``l{i}``.
+- **Reducible control flow becomes ``while``/``if``.**  Wasm control is
+  structurally reducible: ``block``/``loop``/``if`` nest, and ``br`` only
+  targets enclosing constructs.  A construct that is a branch target is
+  wrapped in ``while True:``; ``br`` to a loop lowers to ``continue``,
+  ``br`` to a block lowers to ``break``, and multi-level branches thread
+  a ``_br`` label variable through the loop epilogues.
+- **Label-dispatch fallback.**  Bodies the structured emitter cannot
+  express as nested Python (pathological nesting depth beyond CPython's
+  block limits, or when forced via ``REPRO_WASM_AOT_DISPATCH=1``) fall
+  back to a flat basic-block loop: ``while True: if _pc == A: ...`` —
+  semantically identical, always compilable.
+- **Fuel is still charged per original instruction.**  Charges for pure
+  instructions (locals, constants, non-trapping arithmetic) are batched
+  at compile time and flushed *before* every instruction whose effect is
+  observable after a trap (memory/global writes, calls, trapping ops)
+  and before every control transfer.  Locals and operand-stack slots die
+  with the frame on a trap, so batching them is invisible: trap codes,
+  the fuel counter at trap time, and all memory/global state match the
+  legacy engine bit for bit.
+
+Compiled code is instance-independent (everything per-call arrives via
+the ``frame`` argument), so AOT artifacts are shared through
+:mod:`repro.wasm.codecache` exactly like threaded code, keyed by
+``(sha256, "aot")``.  Engine selection: ``REPRO_WASM_ENGINE=aot``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.wasm import opcodes as op
+from repro.wasm.interpreter import (
+    BINOPS,
+    LOADS,
+    MASK32,
+    MASK64,
+    STORES,
+    UNOPS,
+    control_map_for,
+    f32_round,
+    prepared_for,
+)
+from repro.wasm.module import Code, Module
+from repro.wasm.threaded import (
+    _CONST_OPS,
+    _TRAPPING_BINOPS,
+    _TRAPPING_UNOPS,
+    _analyze,
+    _const_value,
+    _Frame,
+    _mn,
+)
+from repro.wasm.traps import FuelExhausted, StackExhausted, Trap
+from repro.wasm.wtypes import FuncType
+
+#: nesting depth beyond which the structured emitter bails out to the
+#: label-dispatch form (CPython < 3.11 rejects > 20 statically nested
+#: blocks; the dispatch form nests exactly one loop regardless of input)
+_MAX_STRUCTURED_DEPTH = 16
+
+_M32 = str(MASK32)
+_M64 = str(MASK64)
+
+
+def _dispatch_forced() -> bool:
+    value = os.environ.get("REPRO_WASM_AOT_DISPATCH", "")
+    return value.strip().lower() not in ("", "0", "false", "off")
+
+
+# ---------------------------------------------------------------------------
+# shared exec namespace: trap types + numeric helpers the generated source
+# falls back to for operators not worth inlining
+# ---------------------------------------------------------------------------
+
+
+def _build_helpers() -> dict:
+    ns = {
+        "Trap": Trap,
+        "FuelExhausted": FuelExhausted,
+        "_f32": f32_round,
+    }
+    for opcode, fn in BINOPS.items():
+        ns[f"_b{opcode:02x}"] = fn
+    for opcode, fn in UNOPS.items():
+        ns[f"_u{opcode:02x}"] = fn
+    return ns
+
+
+_HELPERS = _build_helpers()
+
+
+def _s32(x: str) -> str:
+    """Signed view of a 32-bit unsigned slot variable (inline, no call)."""
+    return f"({x} - 4294967296 if {x} >= 2147483648 else {x})"
+
+
+def _s64(x: str) -> str:
+    return f"({x} - 18446744073709551616 if {x} >= 9223372036854775808 else {x})"
+
+
+def _binop_expr(opcode: int, a: str, b: str) -> str:
+    """Inline Python expression for a binop, or a ``_bXX`` helper call.
+
+    Inlined expressions are textually different from but numerically
+    identical to the :data:`~repro.wasm.interpreter.BINOPS` lambdas:
+    unsigned ints in ``[0, 2**N)``, comparisons producing int 0/1, f32
+    arithmetic rounded through ``_f32``.
+    """
+    if opcode == op.I32_ADD:
+        return f"({a} + {b}) & {_M32}"
+    if opcode == op.I32_SUB:
+        return f"({a} - {b}) & {_M32}"
+    if opcode == op.I32_MUL:
+        return f"({a} * {b}) & {_M32}"
+    if opcode == op.I32_AND or opcode == op.I64_AND:
+        return f"{a} & {b}"
+    if opcode == op.I32_OR or opcode == op.I64_OR:
+        return f"{a} | {b}"
+    if opcode == op.I32_XOR or opcode == op.I64_XOR:
+        return f"{a} ^ {b}"
+    if opcode == op.I32_SHL:
+        return f"({a} << ({b} % 32)) & {_M32}"
+    if opcode == op.I32_SHR_U:
+        return f"{a} >> ({b} % 32)"
+    if opcode == op.I32_SHR_S:
+        return f"({_s32(a)} >> ({b} % 32)) & {_M32}"
+    if opcode == op.I64_ADD:
+        return f"({a} + {b}) & {_M64}"
+    if opcode == op.I64_SUB:
+        return f"({a} - {b}) & {_M64}"
+    if opcode == op.I64_MUL:
+        return f"({a} * {b}) & {_M64}"
+    if opcode == op.I64_SHL:
+        return f"({a} << ({b} % 64)) & {_M64}"
+    if opcode == op.I64_SHR_U:
+        return f"{a} >> ({b} % 64)"
+    if opcode == op.I64_SHR_S:
+        return f"({_s64(a)} >> ({b} % 64)) & {_M64}"
+    if opcode in (op.I32_EQ, op.I64_EQ, op.F32_EQ, op.F64_EQ):
+        return f"(1 if {a} == {b} else 0)"
+    if opcode in (op.I32_NE, op.I64_NE, op.F32_NE, op.F64_NE):
+        return f"(1 if {a} != {b} else 0)"
+    if opcode in (op.I32_LT_U, op.I64_LT_U, op.F32_LT, op.F64_LT):
+        return f"(1 if {a} < {b} else 0)"
+    if opcode in (op.I32_GT_U, op.I64_GT_U, op.F32_GT, op.F64_GT):
+        return f"(1 if {a} > {b} else 0)"
+    if opcode in (op.I32_LE_U, op.I64_LE_U, op.F32_LE, op.F64_LE):
+        return f"(1 if {a} <= {b} else 0)"
+    if opcode in (op.I32_GE_U, op.I64_GE_U, op.F32_GE, op.F64_GE):
+        return f"(1 if {a} >= {b} else 0)"
+    if opcode == op.I32_LT_S:
+        return f"(1 if {_s32(a)} < {_s32(b)} else 0)"
+    if opcode == op.I32_GT_S:
+        return f"(1 if {_s32(a)} > {_s32(b)} else 0)"
+    if opcode == op.I32_LE_S:
+        return f"(1 if {_s32(a)} <= {_s32(b)} else 0)"
+    if opcode == op.I32_GE_S:
+        return f"(1 if {_s32(a)} >= {_s32(b)} else 0)"
+    if opcode == op.I64_LT_S:
+        return f"(1 if {_s64(a)} < {_s64(b)} else 0)"
+    if opcode == op.I64_GT_S:
+        return f"(1 if {_s64(a)} > {_s64(b)} else 0)"
+    if opcode == op.I64_LE_S:
+        return f"(1 if {_s64(a)} <= {_s64(b)} else 0)"
+    if opcode == op.I64_GE_S:
+        return f"(1 if {_s64(a)} >= {_s64(b)} else 0)"
+    if opcode in (op.F32_ADD, op.F32_SUB, op.F32_MUL):
+        sym = {op.F32_ADD: "+", op.F32_SUB: "-", op.F32_MUL: "*"}[opcode]
+        return f"_f32({a} {sym} {b})"
+    if opcode == op.F64_ADD:
+        return f"{a} + {b}"
+    if opcode == op.F64_SUB:
+        return f"{a} - {b}"
+    if opcode == op.F64_MUL:
+        return f"{a} * {b}"
+    return f"_b{opcode:02x}({a}, {b})"
+
+
+#: unops that lower to no statement at all (identity on our value repr)
+_IDENTITY_UNOPS = {op.I64_EXTEND_I32_U, op.F64_PROMOTE_F32}
+
+
+def _unop_expr(opcode: int, a: str) -> str | None:
+    """Inline expression for a unop; ``None`` means identity (no code)."""
+    if opcode in _IDENTITY_UNOPS:
+        return None
+    if opcode in (op.I32_EQZ, op.I64_EQZ):
+        return f"(1 if {a} == 0 else 0)"
+    if opcode == op.I32_WRAP_I64:
+        return f"{a} & {_M32}"
+    if opcode == op.I64_EXTEND_I32_S:
+        return f"({a} + 18446744069414584320 if {a} >= 2147483648 else {a})"
+    return f"_u{opcode:02x}({a})"
+
+
+# ---------------------------------------------------------------------------
+# the source emitter
+# ---------------------------------------------------------------------------
+
+
+class _Unstructurable(Exception):
+    """Structured emission bailed out; caller retries in dispatch mode."""
+
+
+class _Ctx:
+    """Compile-time frame for the structured emitter's construct stack."""
+
+    __slots__ = (
+        "kind", "is_loop", "wrapped", "id", "entry", "label_arity",
+        "needs_epilogue", "consume",
+    )
+
+    def __init__(self, kind, is_loop, wrapped, ctx_id, entry, label_arity):
+        self.kind = kind
+        self.is_loop = is_loop
+        self.wrapped = wrapped
+        self.id = ctx_id
+        self.entry = entry
+        self.label_arity = label_arity
+        self.needs_epilogue = False
+        self.consume = False
+
+
+class _Emitter:
+    """Emits one function body as Python source (one fuel variant)."""
+
+    def __init__(self, module: Module, code: Code, functype: FuncType,
+                 fueled: bool, dispatch: bool):
+        self.module = module
+        self.code = code
+        self.body = code.body
+        self.functype = functype
+        self.fueled = fueled
+        self.dispatch = dispatch
+        self.result_arity = len(functype.results)
+        self.heights, self.branches, self.jump_targets = _analyze(
+            module, code, self.result_arity
+        )
+        self.control = control_map_for(code)
+        self.lines: list[str] = []
+        self.indent = 0
+        self.pending = 0
+        self.uses: set[str] = set()
+        self.sigs: dict[int, FuncType] = {}
+        self.consts: dict[str, float] = {}
+        self._next_id = 0
+        self.br_targets = self._collect_br_targets()
+
+    # ----- low-level helpers ------------------------------------------------
+
+    def w(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def charge(self) -> None:
+        if self.fueled:
+            self.pending += 1
+
+    def flush(self, extra: int = 0) -> None:
+        """Apply batched fuel charges (plus ``extra`` for the op at hand)."""
+        if not self.fueled:
+            return
+        n = self.pending + extra
+        self.pending = 0
+        if n == 0:
+            return
+        self.w(f"fuel -= {n}")
+        self.w("if fuel < 0:")
+        self.w("    fuel = 0")
+        self.w("    raise FuelExhausted()")
+
+    def lit(self, value) -> str:
+        """Literal text for a constant; non-finite floats become ns consts."""
+        if isinstance(value, float):
+            if value == value and value not in (float("inf"), float("-inf")):
+                return repr(value)
+            name = f"_K{len(self.consts)}"
+            for existing, v in self.consts.items():
+                if v is value or (v == value and v == v):
+                    return existing
+            self.consts[name] = value
+            return name
+        return repr(value)
+
+    def _collect_br_targets(self) -> set[int]:
+        targets: set[int] = set()
+        for pc, (opcode, _imm) in enumerate(self.body):
+            if opcode in (op.BR, op.BR_IF):
+                targets.add(self.branches[pc][0])
+            elif opcode == op.BR_TABLE:
+                per_target, default, _h = self.branches[pc]
+                for res in per_target:
+                    targets.add(res[0])
+                targets.add(default[0])
+        return targets
+
+    def _max_nesting(self) -> int:
+        depth = peak = 0
+        for opcode, _imm in self.body:
+            if opcode in (op.BLOCK, op.LOOP, op.IF):
+                depth += 1
+                peak = max(peak, depth)
+            elif opcode == op.END:
+                depth = max(depth - 1, 0)
+        return peak
+
+    # ----- straight-line instructions (shared by both modes) ---------------
+
+    def emit_simple(self, pc: int) -> bool:
+        """Emit a non-control instruction; returns False for control ops."""
+        opcode, imm = self.body[pc]
+        h = self.heights[pc]
+
+        if opcode == op.LOCAL_GET:
+            self.charge()
+            self.w(f"s{h} = l{imm}")
+        elif opcode == op.LOCAL_SET:
+            self.charge()
+            self.w(f"l{imm} = s{h - 1}")
+        elif opcode == op.LOCAL_TEE:
+            self.charge()
+            self.w(f"l{imm} = s{h - 1}")
+        elif opcode in _CONST_OPS:
+            self.charge()
+            self.w(f"s{h} = {self.lit(_const_value(opcode, imm))}")
+        elif opcode in BINOPS:
+            if opcode in _TRAPPING_BINOPS:
+                self.flush(1)
+            else:
+                self.charge()
+            a, b = f"s{h - 2}", f"s{h - 1}"
+            self.w(f"{a} = {_binop_expr(opcode, a, b)}")
+        elif opcode in UNOPS:
+            if opcode in _TRAPPING_UNOPS:
+                self.flush(1)
+            else:
+                self.charge()
+            a = f"s{h - 1}"
+            expr = _unop_expr(opcode, a)
+            if expr is not None:
+                self.w(f"{a} = {expr}")
+        elif opcode in LOADS:
+            self.flush(1)
+            self.uses.add("mem")
+            size, signed, kind = LOADS[opcode]
+            offset = imm[1]
+            addr = f"s{h - 1} + {offset}" if offset else f"s{h - 1}"
+            if kind == "f32":
+                self.w(f"s{h - 1} = mem.load_f32({addr})")
+            elif kind == "f64":
+                self.w(f"s{h - 1} = mem.load_f64({addr})")
+            elif signed:
+                mask = _M64 if kind == "i64" else _M32
+                self.w(f"s{h - 1} = mem.load_int({addr}, {size}, True) & {mask}")
+            else:
+                self.w(f"s{h - 1} = mem.load_int({addr}, {size}, False)")
+        elif opcode in STORES:
+            self.flush(1)
+            self.uses.add("mem")
+            size, kind = STORES[opcode]
+            offset = imm[1]
+            addr = f"s{h - 2} + {offset}" if offset else f"s{h - 2}"
+            if kind == "f32":
+                self.w(f"mem.store_f32({addr}, s{h - 1})")
+            elif kind == "f64":
+                self.w(f"mem.store_f64({addr}, s{h - 1})")
+            else:
+                self.w(f"mem.store_int({addr}, s{h - 1}, {size})")
+        elif opcode == op.GLOBAL_GET:
+            self.charge()
+            self.uses.add("glb")
+            self.w(f"s{h} = glb[{imm}].value")
+        elif opcode == op.GLOBAL_SET:
+            self.flush(1)
+            self.uses.add("glb")
+            self.w(f"glb[{imm}].value = s{h - 1}")
+        elif opcode == op.DROP:
+            self.charge()
+        elif opcode == op.SELECT:
+            self.charge()
+            self.w(f"if not s{h - 1}:")
+            self.w(f"    s{h - 3} = s{h - 2}")
+        elif opcode == op.NOP:
+            self.charge()
+        elif opcode == op.MEMORY_SIZE:
+            self.charge()
+            self.uses.add("mem")
+            self.w(f"s{h} = mem.size_pages")
+        elif opcode == op.MEMORY_GROW:
+            self.flush(1)
+            self.uses.add("mem")
+            self.w(f"s{h - 1} = mem.grow(s{h - 1}) & {_M32}")
+        elif opcode == op.UNREACHABLE:
+            self.flush(1)
+            self.w('raise Trap("unreachable executed", code="unreachable")')
+        elif opcode == op.CALL:
+            self._emit_call(pc, h, imm)
+        elif opcode == op.CALL_INDIRECT:
+            self._emit_call_indirect(pc, h, imm)
+        else:
+            return False
+        return True
+
+    def _emit_call(self, pc: int, h: int, func_index: int) -> None:
+        self.flush(1)
+        self.uses.add("inst")
+        self.uses.add("_d1")
+        ft = self.module.func_type(func_index)
+        np_, nr = len(ft.params), len(ft.results)
+        args = "[" + ", ".join(f"s{h - np_ + k}" for k in range(np_)) + "]"
+        if self.fueled:
+            self.uses.add("store")
+            self.w("store.fuel = fuel")
+        head = "_r = " if nr else ""
+        self.w(f"{head}inst.invoke_addr(inst.func_addrs[{func_index}], {args}, _d1)")
+        if self.fueled:
+            self.w("fuel = store.fuel")
+        if nr:
+            self.w(f"s{h - np_} = _r[0]")
+
+    def _emit_call_indirect(self, pc: int, h: int, type_index: int) -> None:
+        self.flush(1)
+        self.uses.add("inst")
+        self.uses.add("store")
+        self.uses.add("_d1")
+        ft = self.module.types[type_index]
+        self.sigs[type_index] = ft
+        sig = f"_sig{type_index}"
+        np_, nr = len(ft.params), len(ft.results)
+        self.w("_tb = inst.table")
+        self.w(f"if _tb is None or s{h - 1} >= len(_tb.elements):")
+        self.w('    raise Trap("undefined element", code="table_oob")')
+        self.w(f"_fa = _tb.elements[s{h - 1}]")
+        self.w("if _fa is None:")
+        self.w('    raise Trap("uninitialized element", code="table_null")')
+        self.w("_ft = store.funcs[_fa].functype")
+        self.w(f"if _ft != {sig}:")
+        self.w("    raise Trap(")
+        self.w(f'        f"indirect call type mismatch: {{_ft}} != {{{sig}}}",')
+        self.w('        code="sig",')
+        self.w("    )")
+        args = "[" + ", ".join(f"s{h - 1 - np_ + k}" for k in range(np_)) + "]"
+        if self.fueled:
+            self.w("store.fuel = fuel")
+        head = "_r = " if nr else ""
+        self.w(f"{head}inst.invoke_addr(_fa, {args}, _d1)")
+        if self.fueled:
+            self.w("fuel = store.fuel")
+        if nr:
+            self.w(f"s{h - 1 - np_} = _r[0]")
+
+    # ----- structured mode --------------------------------------------------
+
+    def emit_structured(self) -> None:
+        if self._max_nesting() > _MAX_STRUCTURED_DEPTH:
+            raise _Unstructurable("nesting too deep for structured lowering")
+        n = len(self.body)
+        self.ctxs: list[_Ctx] = [
+            _Ctx(0, False, False, -1, 0, self.result_arity)
+        ]
+        self.emit_seq(0, n - 1)
+        # the function's own terminating END, charged on fall-through
+        if self.heights[n - 1] is not None:
+            self.flush(1)
+            self._emit_return(self.heights[n - 1])
+
+    def _emit_return(self, h: int) -> None:
+        if self.result_arity:
+            self.w(f"return [s{h - 1}]")
+        else:
+            self.w("return []")
+
+    def emit_seq(self, start: int, end: int) -> None:
+        """Emit pcs in ``[start, end)`` — the interior of one construct."""
+        pc = start
+        while pc < end:
+            opcode, _imm = self.body[pc]
+            if opcode in (op.BLOCK, op.LOOP, op.IF):
+                end_pc = self.control[pc][0]
+                if self.heights[pc] is not None:
+                    self.emit_construct(pc)
+                pc = end_pc + 1
+                continue
+            if self.heights[pc] is None:
+                pc += 1
+                continue
+            if not self.emit_simple(pc):
+                self._emit_control(pc)
+            pc += 1
+
+    def _alloc_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def emit_construct(self, pc: int) -> None:
+        opcode, imm = self.body[pc]
+        end_pc, else_pc = self.control[pc]
+        arity = 0 if imm is None else 1
+        entry = self.heights[pc] - (1 if opcode == op.IF else 0)
+        target = pc + 1 if opcode == op.LOOP else end_pc + 1
+        wrapped = target in self.br_targets
+        ctx = _Ctx(
+            opcode, opcode == op.LOOP, wrapped,
+            self._alloc_id() if wrapped else -1,
+            entry, 0 if opcode == op.LOOP else arity,
+        )
+
+        self.charge()  # the block/loop/if opcode itself
+        if wrapped:
+            self.flush(0)
+            self.w("while True:")
+            self.indent += 1
+        body_start = len(self.lines)
+
+        self.ctxs.append(ctx)
+        if opcode == op.IF:
+            self._emit_if_interior(pc, end_pc, else_pc, wrapped)
+        else:
+            self.emit_seq(pc + 1, end_pc)
+            if self.heights[end_pc] is not None:  # fall-through reaches END
+                self.flush(1)
+                if wrapped:
+                    self.w("break")
+            elif not wrapped:
+                self.pending = 0
+        self.ctxs.pop()
+
+        if wrapped:
+            if len(self.lines) == body_start:
+                self.w("break")  # degenerate: nothing live inside
+            self.indent -= 1
+            self.pending = 0
+            self._emit_epilogue(ctx)
+
+    def _emit_if_interior(self, pc: int, end_pc: int, else_pc: int | None,
+                          wrapped: bool) -> None:
+        # the condition read is pure; flush so both arms start at pending 0
+        # (the legacy engine has charged everything up to and including the
+        # `if` opcode before the branch direction is observable)
+        self.flush(0)
+        cond = f"s{self.heights[pc] - 1}"
+        self.w(f"if {cond}:")
+        self.indent += 1
+        mark = len(self.lines)
+        then_end = else_pc if else_pc is not None else end_pc
+        self.emit_seq(pc + 1, then_end)
+        then_falls = self.heights[then_end] is not None
+        if else_pc is not None:
+            if then_falls:
+                # fall-through executes the `else` jump and the shared end
+                self.flush(2)
+                if wrapped:
+                    self.w("break")
+            else:
+                self.pending = 0
+            if len(self.lines) == mark:
+                self.w("pass")
+            self.indent -= 1
+            self.w("else:")
+            self.indent += 1
+            mark = len(self.lines)
+            self.emit_seq(else_pc + 1, end_pc)
+            if self.heights[end_pc] is not None:
+                self.flush(1)
+                if wrapped:
+                    self.w("break")
+            else:
+                self.pending = 0
+            if len(self.lines) == mark:
+                self.w("pass")
+            self.indent -= 1
+        else:
+            # no else-arm: the false path still executes the shared END,
+            # so the END charge must hit both paths exactly once
+            if then_falls:
+                self.flush(1 if wrapped else 0)
+                if wrapped:
+                    self.w("break")
+            else:
+                self.pending = 0
+            if len(self.lines) == mark:
+                self.w("pass")
+            self.indent -= 1
+            if wrapped:
+                self.w("else:")
+                self.indent += 1
+                self.flush(1)
+                self.w("break")
+                self.indent -= 1
+            else:
+                self.charge()  # END, charged once at the join (both paths)
+
+    def _emit_control(self, pc: int) -> None:
+        opcode, imm = self.body[pc]
+        h = self.heights[pc]
+        if opcode == op.BR:
+            target, arity, dest_h = self.branches[pc]
+            self.flush(1)
+            self._emit_branch(imm, arity, dest_h, h)
+        elif opcode == op.BR_IF:
+            target, arity, dest_h = self.branches[pc]
+            self.flush(1)
+            self.w(f"if s{h - 1}:")
+            self.indent += 1
+            self._emit_branch(imm, arity, dest_h, h - 1)
+            self.indent -= 1
+        elif opcode == op.BR_TABLE:
+            depths, default_depth = imm
+            per_target, default_res, _hh = self.branches[pc]
+            self.flush(1)
+            if not depths:
+                self._emit_branch(
+                    default_depth, default_res[1], default_res[2], h - 1
+                )
+                return
+            for k, (depth, res) in enumerate(zip(depths, per_target)):
+                self.w(f"{'if' if k == 0 else 'elif'} s{h - 1} == {k}:")
+                self.indent += 1
+                self._emit_branch(depth, res[1], res[2], h - 1)
+                self.indent -= 1
+            self.w("else:")
+            self.indent += 1
+            self._emit_branch(default_depth, default_res[1], default_res[2], h - 1)
+            self.indent -= 1
+        elif opcode == op.RETURN:
+            self.flush(1)
+            self._emit_return(h)
+        else:  # pragma: no cover - validation rejects unknown opcodes
+            raise Trap(f"cannot compile opcode 0x{opcode:02x}", code="internal")
+
+    def _emit_branch(self, depth: int, arity: int, dest_h: int,
+                     src_h: int) -> None:
+        """Emit the transfer for a (conditional) branch of label ``depth``."""
+        if depth == len(self.ctxs) - 1:
+            self._emit_return(src_h)
+            return
+        idx = len(self.ctxs) - 1 - depth
+        ctx = self.ctxs[idx]
+        if arity and dest_h != src_h - 1:
+            self.w(f"s{dest_h} = s{src_h - 1}")
+        nearest = None
+        for c in reversed(self.ctxs[idx + 1:]):
+            if c.wrapped:
+                nearest = c
+                break
+        if nearest is None:
+            self.w("continue" if ctx.is_loop else "break")
+            return
+        self.uses.add("_br")
+        self.w(f"_br = {ctx.id}")
+        self.w("break")
+        for c in self.ctxs[idx + 1:]:
+            if c.wrapped:
+                c.needs_epilogue = True
+        if not ctx.is_loop:
+            ctx.consume = True
+            ctx.needs_epilogue = True
+
+    def _emit_epilogue(self, ctx: _Ctx) -> None:
+        """Route a pending ``_br`` after leaving a wrapped construct."""
+        if not ctx.needs_epilogue:
+            return
+        enclosing = next((c for c in reversed(self.ctxs) if c.wrapped), None)
+        self.w("if _br != -1:")
+        self.indent += 1
+        clauses = False
+        if ctx.consume:
+            self.w(f"if _br == {ctx.id}:")
+            self.w("    _br = -1")
+            clauses = True
+        if enclosing is not None and enclosing.is_loop:
+            self.w(f"{'elif' if clauses else 'if'} _br == {enclosing.id}:")
+            self.w("    _br = -1")
+            self.w("    continue")
+            clauses = True
+        if enclosing is not None:
+            if clauses:
+                self.w("else:")
+                self.w("    break")
+            else:
+                self.w("break")
+        elif not clauses:  # pragma: no cover - br must land somewhere
+            self.w("pass")
+        self.indent -= 1
+
+    # ----- dispatch (label-loop) mode ---------------------------------------
+
+    def emit_dispatch(self) -> None:
+        n = len(self.body)
+        # an END can be reachable only via jump (the false path of a no-else
+        # `if`, or the then-arm's jump over a dead else-arm) while its linear
+        # height is None; its arrival height is its construct's exit height
+        self._arrivals: dict[int, int] = {}
+        for start_pc, (end_pc, _else_pc) in self.control.items():
+            hs = self.heights[start_pc]
+            if hs is None:
+                continue
+            c_op, c_imm = self.body[start_pc]
+            entry = hs - 1 if c_op == op.IF else hs
+            self._arrivals[end_pc] = entry + (0 if c_imm is None else 1)
+        self._arrivals[n - 1] = self.result_arity
+        leaders = sorted(
+            pc for pc in ({0} | self.jump_targets)
+            if pc < n
+            and (self.heights[pc] is not None or pc in self._arrivals)
+        )
+        leader_set = set(leaders)
+        self.w("_pc = 0")
+        self.w("while True:")
+        self.indent += 1
+        first = True
+        for li, leader in enumerate(leaders):
+            self.w(f"{'if' if first else 'elif'} _pc == {leader}:")
+            first = False
+            self.indent += 1
+            mark = len(self.lines)
+            self._emit_dispatch_run(leader, leader_set, n)
+            if len(self.lines) == mark:  # pragma: no cover - defensive
+                self.w("pass")
+            self.indent -= 1
+        self.w("else:")
+        self.w('    raise AssertionError("aot dispatch reached a dead pc")')
+        self.indent -= 1
+
+    def _emit_dispatch_run(self, start: int, leaders: set[int], n: int) -> None:
+        """Emit one basic-block run: from a leader to the next transfer."""
+        pc = start
+        while True:
+            if pc > start and pc in leaders:
+                self.flush(0)
+                self.w(f"_pc = {pc}")
+                self.w("continue")
+                return
+            opcode, imm = self.body[pc]
+            h = self.heights[pc]
+            if h is None:
+                if pc == start and pc in self._arrivals:
+                    h = self._arrivals[pc]
+                else:
+                    # unreachable tail of the block; nothing past here runs
+                    return
+            if opcode in (op.BLOCK, op.LOOP):
+                self.charge()
+            elif opcode == op.END:
+                if pc == n - 1:
+                    self.flush(1)
+                    self._emit_return(h)
+                    return
+                self.charge()
+            elif opcode == op.ELSE:
+                # falling out of a then-arm: charged like the legacy jump,
+                # landing on the matching END (which itself charges)
+                self.flush(1)
+                self.w(f"_pc = {self.branches[pc]}")
+                self.w("continue")
+                return
+            elif opcode == op.IF:
+                self.flush(1)
+                false_target = self.branches[pc]
+                self.w(f"if not s{h - 1}:")
+                self.w(f"    _pc = {false_target}")
+                self.w("    continue")
+            elif opcode == op.BR:
+                target, arity, dest_h = self.branches[pc]
+                self.flush(1)
+                self._emit_dispatch_jump(target, arity, dest_h, h, n)
+                return
+            elif opcode == op.BR_IF:
+                target, arity, dest_h = self.branches[pc]
+                self.flush(1)
+                self.w(f"if s{h - 1}:")
+                self.indent += 1
+                self._emit_dispatch_jump(target, arity, dest_h, h - 1, n)
+                self.indent -= 1
+            elif opcode == op.BR_TABLE:
+                per_target, default_res, _hh = self.branches[pc]
+                self.flush(1)
+                if per_target:
+                    for k, res in enumerate(per_target):
+                        self.w(f"{'if' if k == 0 else 'elif'} s{h - 1} == {k}:")
+                        self.indent += 1
+                        self._emit_dispatch_jump(res[0], res[1], res[2], h - 1, n)
+                        self.indent -= 1
+                    self.w("else:")
+                    self.indent += 1
+                    self._emit_dispatch_jump(
+                        default_res[0], default_res[1], default_res[2], h - 1, n
+                    )
+                    self.indent -= 1
+                else:
+                    self._emit_dispatch_jump(
+                        default_res[0], default_res[1], default_res[2], h - 1, n
+                    )
+                return
+            elif opcode == op.RETURN:
+                self.flush(1)
+                self._emit_return(h)
+                return
+            else:
+                self.emit_simple(pc)
+            pc += 1
+
+    def _emit_dispatch_jump(self, target: int, arity: int, dest_h: int,
+                            src_h: int, n: int) -> None:
+        if arity and dest_h != src_h - 1:
+            self.w(f"s{dest_h} = s{src_h - 1}")
+        if target >= n:
+            self._emit_return(dest_h + arity if arity else src_h)
+            return
+        self.w(f"_pc = {target}")
+        self.w("continue")
+
+    # ----- assembly ---------------------------------------------------------
+
+    def build(self) -> str:
+        """Emit the body and assemble the full ``def`` source text."""
+        if self.dispatch:
+            self.emit_dispatch()
+        else:
+            self.emit_structured()
+        body = self.lines
+        if not body:
+            body = ["return []"]
+
+        head: list[str] = ["def _wfn(frame, args):"]
+        np_ = len(self.functype.params)
+        if np_ == 1:
+            head.append("    l0, = args")
+        elif np_ > 1:
+            head.append("    " + ", ".join(f"l{i}" for i in range(np_)) + " = args")
+        for i, default in enumerate(prepared_for(self.code).local_defaults):
+            head.append(f"    l{np_ + i} = {default!r}")
+        if "mem" in self.uses:
+            head.append("    mem = frame.mem")
+        if "glb" in self.uses:
+            head.append("    glb = frame.globals")
+        if "inst" in self.uses:
+            head.append("    inst = frame.instance")
+        if "store" in self.uses:
+            head.append("    store = frame.store")
+        if "_d1" in self.uses:
+            head.append("    _d1 = frame.depth + 1")
+        if "_br" in self.uses:
+            head.append("    _br = -1")
+
+        if self.fueled:
+            head.append("    fuel = frame.fuel")
+            head.append("    try:")
+            head.extend("        " + line for line in body)
+            head.append("    finally:")
+            head.append("        frame.fuel = fuel")
+        else:
+            head.extend("    " + line for line in body)
+        return "\n".join(head) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# compiled artifact + compilation entry points
+# ---------------------------------------------------------------------------
+
+
+class AotCode:
+    """One function body compiled to Python source, in two fuel variants.
+
+    ``run(frame, args)`` is the unmetered function, ``run_fueled`` the
+    metered one (selected by :func:`execute_aot` on ``store.fuel``);
+    ``source``/``source_fueled`` keep the generated text for
+    ``repro disasm --aot``.  ``local_defaults``/``max_stack`` mirror the
+    other engines so :class:`~repro.wasm.interpreter.ExecStats` stays
+    bit-identical.
+    """
+
+    __slots__ = (
+        "run", "run_fueled", "source", "source_fueled",
+        "local_defaults", "max_stack", "n_instrs", "mode",
+    )
+
+    def __init__(self, run, run_fueled, source, source_fueled,
+                 local_defaults, max_stack, n_instrs, mode):
+        self.run = run
+        self.run_fueled = run_fueled
+        self.source = source
+        self.source_fueled = source_fueled
+        self.local_defaults = local_defaults
+        self.max_stack = max_stack
+        self.n_instrs = n_instrs
+        self.mode = mode
+
+    def listing(self) -> list[str]:
+        """The generated (unmetered) Python source, line by line."""
+        return [f"  {line}" for line in self.source.splitlines()]
+
+
+def _compile_variant(module: Module, code: Code, functype: FuncType,
+                     fueled: bool, dispatch: bool, name: str):
+    emitter = _Emitter(module, code, functype, fueled, dispatch)
+    source = emitter.build()
+    ns = dict(_HELPERS)
+    for type_index, ft in emitter.sigs.items():
+        ns[f"_sig{type_index}"] = ft
+    ns.update(emitter.consts)
+    exec(compile(source, f"<aot:{name}>", "exec"), ns)
+    return ns.pop("_wfn"), source
+
+
+def compile_aot(module: Module, code: Code, functype: FuncType,
+                name: str = "fn") -> AotCode:
+    """Lower one validated function body to compiled Python source."""
+    prep = prepared_for(code)
+    if not _dispatch_forced():
+        try:
+            run, source = _compile_variant(
+                module, code, functype, False, False, name
+            )
+            run_fueled, source_fueled = _compile_variant(
+                module, code, functype, True, False, name
+            )
+            return AotCode(
+                run, run_fueled, source, source_fueled,
+                prep.local_defaults, prep.max_stack, len(code.body),
+                "structured",
+            )
+        except (_Unstructurable, SyntaxError, RecursionError):
+            pass  # irreducible/too deep for nested Python blocks
+    return compile_aot_dispatch(module, code, functype, name, prep)
+
+
+def compile_aot_dispatch(module: Module, code: Code, functype: FuncType,
+                         name: str = "fn", prep=None) -> AotCode:
+    """Compile via the label-dispatch fallback unconditionally."""
+    if prep is None:
+        prep = prepared_for(code)
+    run, source = _compile_variant(module, code, functype, False, True, name)
+    run_fueled, source_fueled = _compile_variant(
+        module, code, functype, True, True, name
+    )
+    return AotCode(
+        run, run_fueled, source, source_fueled,
+        prep.local_defaults, prep.max_stack, len(code.body), "dispatch",
+    )
+
+
+def aot_for(module: Module, code: Code, functype: FuncType) -> AotCode:
+    """Memoized :func:`compile_aot` (cached on the ``Code`` object)."""
+    cached = getattr(code, "_aot", None)
+    if cached is None:
+        cached = compile_aot(module, code, functype)
+        object.__setattr__(code, "_aot", cached)
+    return cached
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+
+def execute_aot(store, instance, acode: AotCode, args: list,
+                result_arity: int, depth: int):
+    """Run one AOT-compiled function body.
+
+    The contract (arguments, results, traps, fuel, stats) is identical to
+    :func:`repro.wasm.interpreter.execute` and
+    :func:`repro.wasm.threaded.execute_threaded`.
+    """
+    if depth > store.max_call_depth:
+        raise StackExhausted(depth)
+
+    stats = store.stats
+    if stats is not None:
+        stats.frames += 1
+        if depth > stats.max_call_depth:
+            stats.max_call_depth = depth
+        if acode.max_stack > stats.max_value_stack:
+            stats.max_value_stack = acode.max_stack
+
+    frame = _Frame(instance, store, depth)
+    if store.fuel is None:
+        return acode.run(frame, args)
+
+    frame.fuel = store.fuel
+    try:
+        return acode.run_fueled(frame, args)
+    finally:
+        store.fuel = frame.fuel
+
+
+# ---------------------------------------------------------------------------
+# diagnostics (repro disasm --aot / repro aot --dump)
+# ---------------------------------------------------------------------------
+
+
+def dump_aot(module_or_bytes, fueled: bool = False) -> str:
+    """Wasm body and generated Python source for every function.
+
+    Each function prints its original instruction sequence (mnemonics, as
+    in ``repro disasm``) followed by the Python the AOT tier generated
+    for it, so a lowering bug is diagnosable by eye.
+    """
+    from repro.wasm.decoder import decode_module
+    from repro.wasm.validator import validate_module
+
+    if isinstance(module_or_bytes, (bytes, bytearray)):
+        module = decode_module(bytes(module_or_bytes))
+    else:
+        module = module_or_bytes
+    validate_module(module)
+
+    exports_by_index: dict[int, list[str]] = {}
+    for export in module.exports:
+        if export.kind == "func":
+            exports_by_index.setdefault(export.index, []).append(export.name)
+
+    n_imported = module.num_imported_funcs
+    lines: list[str] = []
+    for i, code in enumerate(module.codes):
+        func_index = n_imported + i
+        functype = module.func_type(func_index)
+        acode = aot_for(module, code, functype)
+        names = "".join(
+            f' (export "{n}")' for n in exports_by_index.get(func_index, [])
+        )
+        lines.append(
+            f"func {func_index}{names}: {acode.n_instrs} wasm instrs, "
+            f"aot mode={acode.mode}"
+        )
+        lines.append("  ;; wasm body")
+        for pc in range(len(code.body)):
+            lines.append(f"  {pc:04d}  {_mn(code.body, pc)}")
+        lines.append(
+            "  ;; generated python (%s)" % ("fueled" if fueled else "unfueled")
+        )
+        source = acode.source_fueled if fueled else acode.source
+        lines.extend(f"  {line}" for line in source.splitlines())
+    return "\n".join(lines)

@@ -1,46 +1,80 @@
 """Process-wide compiled-code cache keyed by module content hash.
 
-Lowering a function body (to legacy tagged tuples or threaded closures)
-is pure per-``Code`` work, so it is shareable across every
-:class:`~repro.wasm.instance.Instance` of the *same bytes* — not just the
-same :class:`~repro.wasm.module.Module` object.  That matters for the
-paper's hot-swap story (Fig. 5b): a live swap decodes a fresh module from
-the plugin ``.wc`` bytes, and multi-UE coexistence (Fig. 5a) instantiates
-the same plugin once per cell.  With this cache those paths skip
-re-lowering entirely.
+Lowering a function body (to legacy tagged tuples, threaded closures, or
+AOT-generated Python) is pure per-``Code`` work, so it is shareable
+across every :class:`~repro.wasm.instance.Instance` of the *same bytes*
+— not just the same :class:`~repro.wasm.module.Module` object.  That
+matters for the paper's hot-swap story (Fig. 5b): a live swap decodes a
+fresh module from the plugin ``.wc`` bytes, and multi-UE coexistence
+(Fig. 5a) instantiates the same plugin once per cell.  With this cache
+those paths skip re-lowering entirely.
 
 Keying is ``(module.content_hash, engine)``; the hash is the SHA-256 of
 the binary set by :func:`repro.wasm.decoder.decode_module`.  Modules
 built by hand (no hash) still get per-``Module`` memoization via the
 ``Code``-object caches in :mod:`repro.wasm.interpreter` /
-:mod:`repro.wasm.threaded` — they just don't dedupe across decodes.
+:mod:`repro.wasm.threaded` / :mod:`repro.wasm.aot` — they just don't
+dedupe across decodes.
 
-Hit/miss counters are exported through :mod:`repro.obs` as
-``waran_wasm_codecache_{hits,misses}_total{engine=...}`` (visible in
-``repro obs``); the cache itself always works, telemetry-enabled or not.
+The cache is bounded: at most ``REPRO_WASM_CODECACHE_CAP`` entries
+(default 256; ``0`` or a negative value disables the bound), evicted in
+least-recently-used order.  Long fuzz campaigns and plugin-churn soaks
+would otherwise grow it without limit — every distinct module binary is
+a new key.  Hit/miss/eviction counters are exported through
+:mod:`repro.obs` as
+``waran_wasm_codecache_{hits,misses,evictions}_total{engine=...}``
+(visible in ``repro obs``); the cache itself always works,
+telemetry-enabled or not.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from threading import Lock
 
 from repro.obs import OBS
+from repro.wasm.aot import aot_for
 from repro.wasm.interpreter import prepared_for
 from repro.wasm.module import Module
-from repro.wasm.threaded import threaded_for
+from repro.wasm.threaded import ENGINES, threaded_for
 
-_CACHE: dict[tuple[str, str], list] = {}
+DEFAULT_CAP = 256
+
+_CACHE: OrderedDict[tuple[str, str], list] = OrderedDict()
 _LOCK = Lock()
+
+
+def capacity() -> int:
+    """The configured entry cap; ``0`` means unbounded."""
+    raw = os.environ.get("REPRO_WASM_CODECACHE_CAP", "").strip()
+    if not raw:
+        return DEFAULT_CAP
+    try:
+        cap = int(raw)
+    except ValueError:
+        return DEFAULT_CAP
+    return max(cap, 0)
 
 
 def _lower_all(module: Module, engine: str) -> list:
     if engine == "legacy":
         return [prepared_for(code) for code in module.codes]
     n_imported = module.num_imported_funcs
+    if engine == "aot":
+        return [
+            aot_for(module, code, module.func_type(n_imported + i))
+            for i, code in enumerate(module.codes)
+        ]
     return [
         threaded_for(module, code, module.func_type(n_imported + i))
         for i, code in enumerate(module.codes)
     ]
+
+
+def _count(name: str, help_text: str, engine: str) -> None:
+    if OBS.enabled:
+        OBS.registry.counter(name, help_text).inc(engine=engine)
 
 
 def compiled_bodies(module: Module, engine: str) -> list:
@@ -58,41 +92,59 @@ def compiled_bodies(module: Module, engine: str) -> list:
     key = (content_hash, engine)
     with _LOCK:
         bodies = _CACHE.get(key)
+        if bodies is not None:
+            _CACHE.move_to_end(key)
     if bodies is not None:
-        if OBS.enabled:
-            OBS.registry.counter(
-                "waran_wasm_codecache_hits_total",
-                "compiled-code cache hits (per engine)",
-            ).inc(engine=engine)
+        _count(
+            "waran_wasm_codecache_hits_total",
+            "compiled-code cache hits (per engine)",
+            engine,
+        )
         return bodies
 
-    if OBS.enabled:
-        OBS.registry.counter(
-            "waran_wasm_codecache_misses_total",
-            "compiled-code cache misses (per engine)",
-        ).inc(engine=engine)
+    _count(
+        "waran_wasm_codecache_misses_total",
+        "compiled-code cache misses (per engine)",
+        engine,
+    )
     bodies = _lower_all(module, engine)
+    cap = capacity()
+    evicted: list[tuple[str, str]] = []
     with _LOCK:
         _CACHE[key] = bodies
+        _CACHE.move_to_end(key)
+        if cap:
+            while len(_CACHE) > cap:
+                evicted.append(_CACHE.popitem(last=False)[0])
         if OBS.enabled:
             OBS.registry.gauge(
                 "waran_wasm_codecache_entries",
                 "modules currently held by the compiled-code cache",
             ).set(len(_CACHE))
+    for _hash, evicted_engine in evicted:
+        _count(
+            "waran_wasm_codecache_evictions_total",
+            "compiled-code cache LRU evictions (per engine)",
+            evicted_engine,
+        )
     return bodies
 
 
 def stats() -> dict[str, float]:
-    """Current hit/miss counters (all engines summed) plus cache size."""
+    """Current hit/miss/eviction counters (all engines) plus cache size."""
     hits = OBS.registry.counter("waran_wasm_codecache_hits_total")
     misses = OBS.registry.counter("waran_wasm_codecache_misses_total")
-    total_hits = sum(hits.value(engine=e) for e in ("legacy", "threaded"))
-    total_misses = sum(misses.value(engine=e) for e in ("legacy", "threaded"))
+    evictions = OBS.registry.counter("waran_wasm_codecache_evictions_total")
+    total_hits = sum(hits.value(engine=e) for e in ENGINES)
+    total_misses = sum(misses.value(engine=e) for e in ENGINES)
+    total_evictions = sum(evictions.value(engine=e) for e in ENGINES)
     total = total_hits + total_misses
     return {
         "entries": float(len(_CACHE)),
+        "capacity": float(capacity()),
         "hits": total_hits,
         "misses": total_misses,
+        "evictions": total_evictions,
         "hit_rate": (total_hits / total) if total else 0.0,
     }
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.wasm import opcodes as op
+from repro.wasm.aot import AotCode, execute_aot
 from repro.wasm.interpreter import MASK32, MASK64, PreparedCode, execute, f32_round
 from repro.wasm.memory import Memory
 from repro.wasm.module import Module
@@ -61,9 +62,10 @@ class HostFunc:
 class ModuleFunc:
     """A Wasm-defined function: compiled code plus its defining instance.
 
-    ``prepared`` is either a legacy :class:`PreparedCode` or a
-    :class:`~repro.wasm.threaded.ThreadedCode`, depending on the
-    instance's engine; :meth:`Instance.invoke_addr` dispatches on it.
+    ``prepared`` is a legacy :class:`PreparedCode`, a
+    :class:`~repro.wasm.threaded.ThreadedCode` or an
+    :class:`~repro.wasm.aot.AotCode`, depending on the instance's
+    engine; :meth:`Instance.invoke_addr` dispatches on it.
     """
 
     __slots__ = ("functype", "prepared", "instance")
@@ -71,7 +73,7 @@ class ModuleFunc:
     def __init__(
         self,
         functype: FuncType,
-        prepared: "PreparedCode | ThreadedCode",
+        prepared: "PreparedCode | ThreadedCode | AotCode",
         instance: "Instance",
     ):
         self.functype = functype
@@ -398,6 +400,15 @@ class Instance:
         prepared = func.prepared
         if prepared.__class__ is ThreadedCode:
             return execute_threaded(
+                self.store,
+                func.instance,
+                prepared,
+                args,
+                len(func.functype.results),
+                depth,
+            )
+        if prepared.__class__ is AotCode:
+            return execute_aot(
                 self.store,
                 func.instance,
                 prepared,

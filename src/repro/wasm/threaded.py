@@ -58,7 +58,7 @@ from repro.wasm.wtypes import FuncType
 # engine selection
 # ---------------------------------------------------------------------------
 
-ENGINES = ("threaded", "legacy")
+ENGINES = ("threaded", "legacy", "aot")
 DEFAULT_ENGINE = "threaded"
 
 

@@ -230,7 +230,7 @@ class TestChaosReplay:
         obs.reset()
         obs.disable()
 
-    @pytest.mark.parametrize("engine", ["legacy", "threaded"])
+    @pytest.mark.parametrize("engine", ["legacy", "threaded", "aot"])
     def test_injected_trap_replays_with_same_code(self, engine):
         host = host_with(ChaosConfig(seed=9, trap=1.0), engine=engine)
         with pytest.raises(PluginError) as original:
@@ -246,7 +246,7 @@ class TestChaosReplay:
         assert replay_record.outcome == record.outcome == "trap"
         assert replay_record.attrs["chaos"] == record.attrs["chaos"]
 
-    @pytest.mark.parametrize("engine", ["legacy", "threaded"])
+    @pytest.mark.parametrize("engine", ["legacy", "threaded", "aot"])
     def test_injected_fuel_cut_replays_with_same_fuel_count(self, engine):
         host = host_with(ChaosConfig(seed=9, fuel_cut=1.0), engine=engine)
         with pytest.raises(PluginError) as original:

@@ -2,7 +2,7 @@
 
 The full 10k-slot soak lives in ``benchmarks/bench_chaos_soak.py``; this
 keeps a ~400-slot version in the default test run so the invariants are
-exercised on every commit, under both engines.
+exercised on every commit, under every engine.
 """
 
 import pytest
@@ -29,7 +29,7 @@ HOT = ChaosConfig(
 )
 
 
-@pytest.mark.parametrize("engine", ["legacy", "threaded"])
+@pytest.mark.parametrize("engine", ["legacy", "threaded", "aot"])
 class TestSoakInvariants:
     def test_invariants_hold(self, engine):
         report = ChaosRunner(

@@ -2,7 +2,7 @@
 
 The acceptance bar: a restored instance produces identical outputs, fuel
 counts and ExecStats to an uninterrupted one, for every scheduler plugin
-in the differential suite, under both engines - plus the gNB wiring that
+in the differential suite, under every engine - plus the gNB wiring that
 uses checkpoints on the quarantine/release path.
 """
 
@@ -17,7 +17,7 @@ from repro.gnb import FaultPolicy, GnbHost, SliceRuntime, UeContext
 from repro.plugins import SCHEDULER_PLUGINS, plugin_wasm
 from repro.traffic import FullBufferSource
 
-ENGINES = ["legacy", "threaded"]
+ENGINES = ["legacy", "threaded", "aot"]
 
 
 def observe(host: PluginHost, slots) -> list[tuple]:

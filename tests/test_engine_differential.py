@@ -1,12 +1,12 @@
-"""Differential testing: every bundled plugin under both Wasm engines.
+"""Differential testing: every bundled plugin under every Wasm engine.
 
-Each ``.wc`` plugin in ``src/repro/plugins/`` is loaded twice - once with
-``engine="legacy"``, once with ``engine="threaded"`` - and driven through
-the full :class:`PluginHost` byte-buffer path with identical inputs.  The
-two engines must agree on *everything* observable: output bytes, error
-kind, spec trap code, fuel consumed, and :class:`ExecStats` counters.
+Each ``.wc`` plugin in ``src/repro/plugins/`` is loaded once per engine
+(``legacy``, ``threaded``, ``aot``) and driven through the full
+:class:`PluginHost` byte-buffer path with identical inputs.  The engines
+must agree on *everything* observable: output bytes, error kind, spec
+trap code, fuel consumed, and :class:`ExecStats` counters.
 
-This is the acceptance gate for the threaded compiler being bit-identical
+This is the acceptance gate for the compiled tiers being bit-identical
 in semantics, not just "close enough".
 """
 
@@ -102,11 +102,12 @@ def payloads_for() -> list[bytes]:
 def test_plugin_identical_across_engines(name):
     payloads = payloads_for()
     legacy = observe(name, "legacy", payloads)
-    threaded = observe(name, "threaded", payloads)
-    for i, (expect, got) in enumerate(zip(legacy, threaded)):
-        assert got == expect, (
-            f"{name} payload#{i}: threaded {got} != legacy {expect}"
-        )
+    for engine in ("threaded", "aot"):
+        trace = observe(name, engine, payloads)
+        for i, (expect, got) in enumerate(zip(legacy, trace)):
+            assert got == expect, (
+                f"{name} payload#{i}: {engine} {got} != legacy {expect}"
+            )
     # sanity: the suite saw at least one successful call or a real fault,
     # never silent no-ops
     assert any(t[0] in ("ok", "trap", "fuel", "abi") for t in legacy)

@@ -1,0 +1,411 @@
+"""Unit tests for the AOT engine tier (repro.wasm.aot).
+
+The three-way differential suite in ``tests/test_engine_differential.py``
+and the fuzz oracle cover whole plugins and generated modules; these
+tests pin the compiler itself: structured vs label-dispatch lowering,
+fuel identity at every possible exhaustion point, trap codes, the engine
+switch, checkpoint/restore on AOT instances, the dump listing, and the
+bounded LRU code cache.
+"""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import OBS
+from repro.wasm import Instance, decode_module
+from repro.wasm.aot import AotCode, aot_for, compile_aot, dump_aot
+from repro.wasm.codecache import capacity as cache_capacity
+from repro.wasm.codecache import clear as cache_clear
+from repro.wasm.codecache import compiled_bodies
+from repro.wasm.codecache import stats as cache_stats
+from repro.wasm.interpreter import ExecStats
+from repro.wasm.threaded import ENGINES, resolve_engine
+from repro.wasm.traps import Trap
+from repro.wasm.wat import assemble
+
+
+def three(source):
+    raw = assemble(source)
+    return tuple(
+        Instance(decode_module(raw), engine=e)
+        for e in ("legacy", "threaded", "aot")
+    )
+
+
+def call_outcome(inst, name, *args, fuel="unset"):
+    """(kind, value-or-trap-code, fuel-left, stats) for one call."""
+    stats = ExecStats()
+    inst.store.stats = stats
+    try:
+        value = inst.call(name, *args, fuel=fuel)
+        out = ("ok", value, inst.store.fuel)
+    except Trap as exc:
+        out = ("trap", exc.code, inst.store.fuel)
+    finally:
+        inst.store.stats = None
+    return out + (stats.frames, stats.max_call_depth, stats.max_value_stack)
+
+
+def assert_identical(source, name, *args, fuel="unset"):
+    legacy, threaded, aot = three(source)
+    expect = call_outcome(legacy, name, *args, fuel=fuel)
+    for inst, engine in ((threaded, "threaded"), (aot, "aot")):
+        got = call_outcome(inst, name, *args, fuel=fuel)
+        assert got == expect, f"{name}{args}: {engine} {got} != legacy {expect}"
+    return expect
+
+
+LOOP_SUM = """(module (func (export "sum") (param $n i32) (result i32)
+  (local $i i32) (local $acc i32)
+  (block $exit (loop $top
+    (br_if $exit (i32.ge_s (local.get $i) (local.get $n)))
+    (local.set $acc (i32.add (local.get $acc) (local.get $i)))
+    (local.set $i (i32.add (local.get $i) (i32.const 1)))
+    (br $top)))
+  (local.get $acc)))"""
+
+FIB = """(module (func $fib (export "fib") (param i32) (result i32)
+  (if (result i32) (i32.lt_s (local.get 0) (i32.const 2))
+    (then (local.get 0))
+    (else (i32.add (call $fib (i32.sub (local.get 0) (i32.const 1)))
+                   (call $fib (i32.sub (local.get 0) (i32.const 2))))))))"""
+
+COUNTER = """(module
+  (memory 1)
+  (global $calls (mut i32) (i32.const 0))
+  (func (export "bump") (param i32) (result i32)
+    (global.set $calls (i32.add (global.get $calls) (i32.const 1)))
+    (i32.store (i32.const 0)
+      (i32.add (i32.load (i32.const 0)) (local.get 0)))
+    (i32.load (i32.const 0))))"""
+
+
+# ---------------------------------------------------------------------------
+# value / trap / fuel parity on representative shapes
+# ---------------------------------------------------------------------------
+
+
+def test_arith_loop_matches():
+    assert_identical(LOOP_SUM, "sum", 1000)
+    assert_identical(LOOP_SUM, "sum", 0)
+    assert_identical(LOOP_SUM, "sum", -5)
+
+
+def test_recursion_matches():
+    out = assert_identical(FIB, "fib", 12)
+    assert out[:2] == ("ok", 144)
+
+
+def test_trap_codes_match():
+    src = """(module
+      (memory 1)
+      (func (export "div") (param i32 i32) (result i32)
+        (i32.div_s (local.get 0) (local.get 1)))
+      (func (export "load") (param i32) (result i32)
+        (i32.load (local.get 0)))
+      (func (export "boom") (unreachable))
+      (func (export "trunc") (param f64) (result i32)
+        (i32.trunc_f64_s (local.get 0))))"""
+    assert assert_identical(src, "div", 7, 0)[:2] == ("trap", "div0")
+    assert assert_identical(src, "div", -(2**31), -1)[:2] == ("trap", "overflow")
+    assert assert_identical(src, "load", 70000)[:2] == ("trap", "oob")
+    assert assert_identical(src, "boom")[:2] == ("trap", "unreachable")
+    assert assert_identical(src, "trunc", 1e300)[:2] == ("trap", "trunc")
+    assert assert_identical(src, "trunc", float("nan"))[:2] == ("trap", "trunc")
+
+
+def test_call_indirect_trap_codes_match():
+    src = """(module
+      (table 4 funcref)
+      (func $a (param i32) (result i32) (i32.add (local.get 0) (i32.const 1)))
+      (func $b (param i64) (result i64) (local.get 0))
+      (elem (i32.const 0) $a $b)
+      (func (export "run") (param i32 i32) (result i32)
+        (call_indirect (type 0) (local.get 0) (local.get 1))))"""
+    assert assert_identical(src, "run", 5, 0)[:2] == ("ok", 6)
+    assert assert_identical(src, "run", 5, 1)[:2] == ("trap", "sig")
+    assert assert_identical(src, "run", 5, 2)[:2] == ("trap", "table_null")
+    assert assert_identical(src, "run", 5, 9)[:2] == ("trap", "table_oob")
+
+
+def test_fuel_identity_at_every_budget():
+    """Exhaustive sweep: all three engines cut off at the same instruction."""
+    # find the full cost first, then try every budget below it
+    full = assert_identical(LOOP_SUM, "sum", 10, fuel=10_000)
+    assert full[0] == "ok"
+    cost = 10_000 - full[2]
+    for budget in range(cost + 2):
+        assert_identical(LOOP_SUM, "sum", 10, fuel=budget)
+
+
+def test_fuel_identity_across_calls():
+    """Nested-call exhaustion: the caller's stale fuel sync must match."""
+    for budget in range(0, 400, 7):
+        assert_identical(FIB, "fib", 8, fuel=budget)
+
+
+def test_float_bit_patterns_match():
+    src = """(module
+      (func (export "canon") (param f32) (result f32)
+        (f32.add (local.get 0) (f32.const 0.1)))
+      (func (export "div") (param f64 f64) (result f64)
+        (f64.div (local.get 0) (local.get 1))))"""
+    import struct
+
+    legacy, threaded, aot = three(src)
+    for name, args in (
+        ("canon", (3.7,)),
+        ("div", (0.0, 0.0)),   # nan
+        ("div", (1.0, 0.0)),   # inf
+        ("div", (-1.0, 0.0)),  # -inf
+        ("div", (1.0, -0.0)),
+    ):
+        vals = [inst.call(name, *args) for inst in (legacy, threaded, aot)]
+        bits = {struct.pack("<d", v) for v in vals}
+        assert len(bits) == 1, f"{name}{args}: {vals}"
+
+
+# ---------------------------------------------------------------------------
+# structured vs label-dispatch lowering
+# ---------------------------------------------------------------------------
+
+
+def test_structured_mode_is_default_for_reducible_code():
+    raw = assemble(LOOP_SUM)
+    module = decode_module(raw)
+    acode = compile_aot(module, module.codes[0], module.func_type(0))
+    assert acode.mode == "structured"
+    assert "while True:" in acode.source
+    assert "_pc" not in acode.source
+
+
+def test_deep_nesting_falls_back_to_dispatch():
+    # 24 nested blocks: CPython rejects >20 statically nested blocks, so
+    # the structured emitter must bail out to the label-dispatch loop
+    depth = 24
+    src = ("(module (func (export \"f\") (param i32) (result i32) "
+           + "(block " * depth
+           + f"(br_if {depth - 1} (local.get 0))"
+           + ")" * depth
+           + " (i32.const 5)))")
+    raw = assemble(src)
+    module = decode_module(raw)
+    acode = compile_aot(module, module.codes[0], module.func_type(0))
+    assert acode.mode == "dispatch"
+    assert "_pc = 0" in acode.source
+    inst = Instance(decode_module(raw), engine="aot")
+    assert inst.call("f", 0) == 5
+    assert inst.call("f", 1) == 5
+
+
+def test_dispatch_mode_forced_by_env_matches(monkeypatch):
+    monkeypatch.setenv("REPRO_WASM_AOT_DISPATCH", "1")
+    raw = assemble(LOOP_SUM)
+    module = decode_module(raw)
+    acode = compile_aot(module, module.codes[0], module.func_type(0))
+    assert acode.mode == "dispatch"
+    assert_identical(LOOP_SUM, "sum", 25)
+    for budget in range(40):
+        assert_identical(LOOP_SUM, "sum", 3, fuel=budget)
+
+
+def test_identical_exec_stats_vs_both_engines():
+    out = assert_identical(FIB, "fib", 10, fuel=100_000)
+    # frames, max depth, max value stack all compared inside; sanity:
+    assert out[3] > 100  # frames: fib(10) makes 177 calls
+
+
+# ---------------------------------------------------------------------------
+# engine selection + instance plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_engines_tuple_contains_aot():
+    assert ENGINES == ("threaded", "legacy", "aot")
+
+
+def test_resolve_engine_aot_env(monkeypatch):
+    monkeypatch.setenv("REPRO_WASM_ENGINE", "aot")
+    assert resolve_engine() == "aot"
+    assert resolve_engine("legacy") == "legacy"  # explicit arg wins
+
+
+def test_instance_prepares_aot_code():
+    raw = assemble(LOOP_SUM)
+    inst = Instance(decode_module(raw), engine="aot")
+    assert inst.engine == "aot"
+    func = inst.store.funcs[inst.func_addrs[0]]
+    assert isinstance(func.prepared, AotCode)
+    assert inst.call("sum", 10) == 45
+
+
+def test_capture_restore_roundtrip_on_aot():
+    legacy, threaded, aot = three(COUNTER)
+    for inst in (legacy, threaded, aot):
+        inst.call("bump", 7)
+        inst.call("bump", 35)
+    snap = aot.capture_state()
+
+    # aot -> aot
+    raw = assemble(COUNTER)
+    fresh = Instance(decode_module(raw), engine="aot")
+    fresh.restore_state(snap)
+    assert fresh.call("bump", 0) == 42
+    # aot -> threaded and legacy -> aot cross-engine hops
+    cross = Instance(decode_module(raw), engine="threaded")
+    cross.restore_state(snap)
+    assert cross.call("bump", 8) == 50
+    back = Instance(decode_module(raw), engine="aot")
+    back.restore_state(legacy.capture_state())
+    assert back.call("bump", 8) == 50
+
+
+def test_plugin_host_checkpoint_restore_under_aot(monkeypatch):
+    monkeypatch.setenv("REPRO_WASM_ENGINE", "aot")
+    from repro.abi import SchedulerPlugin
+    from repro.experiments.fig5d import make_ues
+    from repro.plugins import plugin_wasm
+
+    plugin = SchedulerPlugin.load(plugin_wasm("pf"), name="pf-aot-ckpt")
+    plugin.host.limits.fuel = 10_000_000
+    ues = make_ues(4)
+    plugin.schedule(52, ues, 0)
+    snap = plugin.host.checkpoint()
+    before = plugin.schedule(52, ues, 1).grants
+    plugin.schedule(52, ues, 2)
+    plugin.host.restore(snap)
+    after = plugin.schedule(52, ues, 1).grants
+    assert [g.__dict__ for g in after] == [g.__dict__ for g in before]
+
+
+# ---------------------------------------------------------------------------
+# dump / disasm listing
+# ---------------------------------------------------------------------------
+
+
+def test_dump_aot_shows_wasm_and_python():
+    raw = assemble(LOOP_SUM)
+    text = dump_aot(raw)
+    assert 'func 0 (export "sum"): ' in text
+    assert ";; wasm body" in text
+    assert ";; generated python (unfueled)" in text
+    assert "def _wfn(frame, args):" in text
+    assert "i32.add" in text
+    fueled = dump_aot(raw, fueled=True)
+    assert ";; generated python (fueled)" in fueled
+    assert "FuelExhausted" in fueled
+    assert "FuelExhausted" not in text
+
+
+def test_generated_source_has_no_fuel_in_unfueled_variant():
+    raw = assemble(FIB)
+    module = decode_module(raw)
+    acode = aot_for(module, module.codes[0], module.func_type(0))
+    assert "fuel" not in acode.source
+    assert "frame.fuel = fuel" in acode.source_fueled
+    # memoized per Code object
+    assert aot_for(module, module.codes[0], module.func_type(0)) is acode
+
+
+# ---------------------------------------------------------------------------
+# code cache: aot entries, LRU bound, eviction counters
+# ---------------------------------------------------------------------------
+
+
+def test_codecache_shares_aot_across_decodes():
+    raw = assemble('(module (func (export "f") (result i32) (i32.const 3)))')
+    cache_clear()
+    m1, m2 = decode_module(raw), decode_module(raw)
+    a1 = compiled_bodies(m1, "aot")
+    a2 = compiled_bodies(m2, "aot")
+    assert a1[0] is a2[0]
+    # aot artifacts never collide with the other engines' entries
+    assert compiled_bodies(m1, "threaded")[0] is not a1[0]
+    assert compiled_bodies(m1, "legacy")[0] is not a1[0]
+
+
+def test_codecache_lru_eviction_and_counters(monkeypatch):
+    monkeypatch.setenv("REPRO_WASM_CODECACHE_CAP", "2")
+    assert cache_capacity() == 2
+    cache_clear()
+    obs.enable()
+    try:
+        evictions = OBS.registry.counter("waran_wasm_codecache_evictions_total")
+        e0 = evictions.value(engine="aot")
+        raws = [
+            assemble(f'(module (func (export "f") (result i32) (i32.const {k})))')
+            for k in range(3)
+        ]
+        compiled_bodies(decode_module(raws[0]), "aot")
+        compiled_bodies(decode_module(raws[1]), "aot")
+        # touch 0 so it is most-recently-used, then insert 2: 1 must go
+        kept = compiled_bodies(decode_module(raws[0]), "aot")
+        compiled_bodies(decode_module(raws[2]), "aot")
+        assert evictions.value(engine="aot") == e0 + 1
+        assert cache_stats()["entries"] == 2.0
+        # 0 survived the eviction (LRU evicts 1), 1 recompiles fresh
+        assert compiled_bodies(decode_module(raws[0]), "aot")[0] is kept[0]
+        assert cache_stats()["evictions"] >= 1.0
+    finally:
+        obs.disable()
+        cache_clear()
+
+
+def test_codecache_cap_zero_is_unbounded(monkeypatch):
+    monkeypatch.setenv("REPRO_WASM_CODECACHE_CAP", "0")
+    assert cache_capacity() == 0
+    cache_clear()
+    raws = [
+        assemble(f'(module (func (export "f") (result i32) (i32.const {k})))')
+        for k in range(5)
+    ]
+    for raw in raws:
+        compiled_bodies(decode_module(raw), "aot")
+    assert cache_stats()["entries"] == 5.0
+    cache_clear()
+
+
+@pytest.mark.parametrize("engine", ["threaded", "aot"])
+def test_fig5b_hot_swap_keeps_hit_rate(engine):
+    """Satellite 3: Fig-5b-style hot swaps stay >=90% cache hits per tier."""
+    from repro.abi import SchedulerPlugin
+    from repro.plugins import plugin_wasm
+
+    os.environ["REPRO_WASM_ENGINE"] = engine
+    cache_clear()
+    obs.enable()
+    try:
+        hits = OBS.registry.counter("waran_wasm_codecache_hits_total")
+        misses = OBS.registry.counter("waran_wasm_codecache_misses_total")
+        h0, m0 = hits.value(engine=engine), misses.value(engine=engine)
+        plugin = SchedulerPlugin.load(plugin_wasm("mt"), name=f"swap-{engine}")
+        binaries = [plugin_wasm("pf"), plugin_wasm("rr"), plugin_wasm("mt")]
+        for i in range(30):  # ten full MT -> PF -> RR swap cycles
+            plugin.swap(binaries[i % 3])
+        dh = hits.value(engine=engine) - h0
+        dm = misses.value(engine=engine) - m0
+        assert dh + dm > 0
+        hit_rate = dh / (dh + dm)
+        assert hit_rate >= 0.90, f"{engine}: hit rate {hit_rate:.1%} < 90%"
+    finally:
+        os.environ.pop("REPRO_WASM_ENGINE", None)
+        obs.disable()
+
+
+# ---------------------------------------------------------------------------
+# fuzz oracle integration: the three-way differential runs aot legs
+# ---------------------------------------------------------------------------
+
+
+def test_oracle_runs_aot_legs():
+    from repro.fuzz.oracle import differential
+
+    raw = assemble(COUNTER)
+    result = differential(raw, [("bump", (5,)), ("bump", (6,)), ("bump", (7,))])
+    assert result.ok, result.reason
+    assert "aot" in result.legs
+    assert "restore-aot" in result.legs
+    assert "restore-aot-to-threaded" in result.legs
+    assert "restore-legacy-to-aot" in result.legs

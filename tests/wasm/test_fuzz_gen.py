@@ -4,7 +4,7 @@ The generator is the foundation the differential oracle stands on — if it
 ever emits an invalid module, every downstream "the engines agree" claim
 is vacuous for the inputs that matter.  These tests pin down:
 
-- every generated module validates AND instantiates under both engines;
+- every generated module validates AND instantiates under every engine;
 - generation is a pure function of the seed;
 - generated binaries survive ``decode -> encode`` byte-identically (the
   encoder/decoder round-trip property, satellite of the fuzz PR);
@@ -33,7 +33,7 @@ class TestValidity:
         gm = gen(seed)
         module = decode_module(gm.wasm)
         validate_module(module)
-        for engine in ("legacy", "threaded"):
+        for engine in ("legacy", "threaded", "aot"):
             instance = Instance(module, store=Store(), engine=engine)
             assert instance.export_names()
 

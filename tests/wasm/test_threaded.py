@@ -262,7 +262,7 @@ def test_i64_load_roundtrips_full_width():
     source = """(module (memory 1)
         (func (export "put") (param i64) (i64.store (i32.const 0) (local.get 0)))
         (func (export "get") (result i64) (i64.load (i32.const 0))))"""
-    for engine in ("legacy", "threaded"):
+    for engine in ("legacy", "threaded", "aot"):
         inst = Instance(decode_module(assemble(source)), engine=engine)
         inst.call("put", 0x1122334455667788)
         assert inst.call("get") == 0x1122334455667788, engine
@@ -273,13 +273,13 @@ def test_i64_load_roundtrips_full_width():
 def test_exec_stats_identical_across_engines():
     source = FUEL_SWEEP_MODULES[2]
     results = {}
-    for engine in ("legacy", "threaded"):
+    for engine in ("legacy", "threaded", "aot"):
         inst = Instance(decode_module(assemble(source)), engine=engine)
         inst.store.stats = ExecStats()
         inst.call("f", 4)
         stats = inst.store.stats
         results[engine] = (stats.frames, stats.max_call_depth, stats.max_value_stack)
-    assert results["legacy"] == results["threaded"]
+    assert results["legacy"] == results["threaded"] == results["aot"]
 
 
 # ---------------------------------------------------------------------------

@@ -18,7 +18,11 @@ hiccup owns the top percentile, while a real regression shifts p50 too.
 
 import pytest
 
-from benchmarks.conftest import aot_gate_violations, perf_gate_violations
+from benchmarks.conftest import (
+    aot_gate_violations,
+    perf_gate_violations,
+    rt_gate_violations,
+)
 
 
 @pytest.mark.benchmark(group="perf-gate")
@@ -41,3 +45,16 @@ def test_aot_tier_holds_its_speedup(benchmark):
     """
     violations = benchmark.pedantic(aot_gate_violations, rounds=1, iterations=1)
     assert not violations, "aot tier perf gate:\n" + "\n".join(violations)
+
+
+@pytest.mark.benchmark(group="perf-gate")
+def test_rt_dispatch_holds_miss_reduction(benchmark):
+    """Enforced rt dispatch must keep its >=10x deadline-miss reduction.
+
+    The reduction is a ratio of fuel-defined miss counts (two seeded runs
+    of the flash-crowd scenario), so it is exact on any machine; the gate
+    checks the floor, the committed ``BENCH_rt.json`` baseline, and that
+    the non-sheddable SLA lane really shed nothing.
+    """
+    violations = benchmark.pedantic(rt_gate_violations, rounds=1, iterations=1)
+    assert not violations, "rt dispatch perf gate:\n" + "\n".join(violations)

@@ -33,8 +33,18 @@ BENCH_THREADED_PATH = (
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_threaded.json"
 )
 BENCH_AOT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_aot.json"
+BENCH_RT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_rt.json"
 
 _ran_benchmarks = False
+
+#: live rt-dispatch results, filled in by ``bench_rt.py`` during the
+#: session and judged by the ``zz`` gate / persisted at session end
+RT_LIVE: dict = {}
+
+#: floor for the rt tier: enforced flash crowd must cut the deadline-miss
+#: rate by at least this factor vs the observe-only baseline (fuel-defined
+#: misses, so the ratio is exact and machine-independent)
+RT_MISS_REDUCTION_FLOOR = 10.0
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -92,6 +102,16 @@ def pytest_sessionfinish(session, exitstatus):
         aot_doc["written_unix"] = int(time.time())
         BENCH_AOT_PATH.write_text(
             json.dumps(aot_doc, indent=2, sort_keys=True) + "\n"
+        )
+    if RT_LIVE:
+        rt_doc = {
+            "schema": "waran-bench-rt/1",
+            "written_unix": int(time.time()),
+            "miss_reduction_floor": RT_MISS_REDUCTION_FLOOR,
+            **RT_LIVE,
+        }
+        BENCH_RT_PATH.write_text(
+            json.dumps(rt_doc, indent=2, sort_keys=True) + "\n"
         )
 
 
@@ -224,6 +244,45 @@ def aot_gate_violations() -> list[str]:
                 f"{geomean:.2f}x vs baseline {base_geomean:.2f}x "
                 f"(> x{tolerance})"
             )
+    return violations
+
+
+def rt_gate_violations() -> list[str]:
+    """Gate the rt tier: live flash-crowd miss reduction vs floor+baseline.
+
+    The reduction is a ratio of fuel-defined miss counts from two runs of
+    the same seed, so it is *exact* - no wall-clock noise - and the gate
+    can hold it to the floor without corroboration heuristics.  Tolerance
+    still applies so a deliberately retuned scenario doesn't hard-fail
+    before its baseline is refreshed.
+    """
+    if os.environ.get(GATE_ENV, "").lower() in ("off", "0", "false"):
+        return []
+    live = RT_LIVE.get("flash_crowd")
+    if not live:
+        return []  # rt bench not run this session
+    tolerance = float(os.environ.get(GATE_TOLERANCE_ENV, "1.25"))
+    reduction = live["miss_reduction"]
+    violations = []
+    if reduction < RT_MISS_REDUCTION_FLOOR / tolerance:
+        violations.append(
+            f"rt flash-crowd miss reduction is {reduction:.1f}x, below the "
+            f"{RT_MISS_REDUCTION_FLOOR}x floor (tolerance x{tolerance})"
+        )
+    if BENCH_RT_PATH.exists():
+        baseline = json.loads(BENCH_RT_PATH.read_text())
+        base = baseline.get("flash_crowd", {}).get("miss_reduction")
+        if base and reduction < base / tolerance:
+            violations.append(
+                f"rt flash-crowd miss reduction regressed: {reduction:.1f}x "
+                f"vs baseline {base:.1f}x (> x{tolerance})"
+            )
+    if live.get("shed_by_lane", {}).get("sla", 0):
+        violations.append(
+            "rt flash crowd shed SLA-lane work "
+            f"({live['shed_by_lane']['sla']} calls): the sla lane is "
+            "non-sheddable by contract"
+        )
     return violations
 
 

@@ -239,12 +239,26 @@ class PluginHost:
 
     # ----- invocation -----------------------------------------------------------
 
-    def call(self, input_bytes: bytes, entry: str = "run") -> PluginCallResult:
+    def call(
+        self,
+        input_bytes: bytes,
+        entry: str = "run",
+        fuel: int | None | str = "unset",
+        rt: dict | None = None,
+    ) -> PluginCallResult:
         """One byte-buffer call: alloc, copy in, run, copy out.
 
         Raises :class:`PluginError` for traps, fuel/deadline exhaustion and
         ABI violations.  The elapsed time covers the full round trip
         (serialization overhead included), mirroring §5E's methodology.
+
+        ``fuel`` is the rt layer's per-call budget: when it undercuts the
+        host's own ``limits.fuel`` the call is *budgeted* - running out of
+        fuel then raises kind ``"deadline"`` (a deterministic fuel-cut
+        preemption at the slot budget) instead of ``"fuel"`` (the plugin's
+        own resource exhaustion).  ``rt`` is an opaque decision document
+        (budget, lane, verdict) attached to the flight record so
+        :meth:`replay` reproduces degraded slots bit-exactly.
 
         When telemetry is enabled (:func:`repro.obs.enable`) every call
         emits a ``plugin.call`` span with ``encode``/``invoke``/``decode``
@@ -257,7 +271,13 @@ class PluginHost:
         obs = OBS
         enabled = obs.enabled
         tracer = obs.tracer
+        budget_fuel = fuel
         fuel = self.limits.fuel
+        budgeted = False
+        if budget_fuel != "unset" and budget_fuel is not None:
+            if fuel is None or budget_fuel < fuel:
+                fuel = int(budget_fuel)
+                budgeted = True
         injection = None
         if self.chaos is not None:
             injection = self.chaos.draw_plugin(self.name)
@@ -309,9 +329,24 @@ class PluginHost:
             except Trap as exc:
                 kind = "fuel" if exc.code == "fuel" else "trap"
                 trap_code = exc.code
-                error = PluginError(
-                    f"{self.name}: plugin trapped: {exc} (code={exc.code})", kind
-                )
+                if (
+                    kind == "fuel"
+                    and budgeted
+                    and (injection is None or injection.kind != "fuel_cut")
+                ):
+                    # the rt budget, not the plugin's own limit, was the
+                    # binding constraint: this is a deadline preemption
+                    # (message kept time-free so logs stay reproducible)
+                    kind = "deadline"
+                    error = PluginError(
+                        f"{self.name}: preempted at rt budget "
+                        f"(fuel budget {fuel})", kind,
+                    )
+                else:
+                    error = PluginError(
+                        f"{self.name}: plugin trapped: {exc} (code={exc.code})",
+                        kind,
+                    )
                 error.__cause__ = exc
         elapsed_us = (time.perf_counter_ns() - start) / 1000.0
         fuel_used = None
@@ -335,9 +370,15 @@ class PluginHost:
         if enabled:
             outcome = "ok" if error is None else error.kind
             root.set(outcome=outcome)
+            rt_doc = dict(rt) if rt is not None else None
+            if budgeted:
+                # record the *effective* enforced budget so replay
+                # reproduces the fuel-cut preemption bit-exactly
+                rt_doc = dict(rt_doc or {})
+                rt_doc["fuel"] = fuel
             self._record_telemetry(
                 obs, entry, input_bytes, output, outcome, elapsed_us,
-                fuel_used, stats, error, trap_code, injection,
+                fuel_used, stats, error, trap_code, injection, rt_doc,
             )
         if error is not None:
             raise error
@@ -389,6 +430,7 @@ class PluginHost:
         error: PluginError | None,
         trap_code: str | None,
         injection=None,
+        rt_doc: dict | None = None,
     ) -> None:
         """Registry + flight recorder + event log for one finished call."""
         reg = obs.registry
@@ -438,6 +480,8 @@ class PluginHost:
         chaos_attrs = (
             {"chaos": injection.to_json()} if injection is not None else {}
         )
+        if rt_doc is not None:
+            chaos_attrs["rt"] = rt_doc
         obs.flight.record(
             plugin=name,
             entry=entry,
@@ -470,7 +514,10 @@ class PluginHost:
         If the captured call carried a chaos injection (``attrs["chaos"]``)
         the fresh replay re-applies that exact injection, so a
         chaos-provoked trap or fuel cut reproduces its trap code and fuel
-        count deterministically.
+        count deterministically.  Likewise an rt decision (``attrs["rt"]``)
+        re-applies the recorded per-call fuel budget, so a slot degraded
+        by fuel-cut preemption replays bit-exactly - including under
+        ``REPRO_CHAOS`` deadline faults, where both attachments compose.
         """
         if record.generation != self.generation:
             if OBS.enabled:
@@ -480,8 +527,15 @@ class PluginHost:
                     recorded=record.generation,
                     current=self.generation,
                 )
+        rt_doc = record.attrs.get("rt")
+        rt_fuel = rt_doc.get("fuel") if rt_doc else None
         if not fresh:
-            return self.call(record.input_bytes, entry=record.entry)
+            return self.call(
+                record.input_bytes,
+                entry=record.entry,
+                fuel="unset" if rt_fuel is None else rt_fuel,
+                rt=rt_doc,
+            )
         from repro.chaos.schedule import ChaosInjection, OneShotChaos
 
         chaos_doc = record.attrs.get("chaos")
@@ -499,7 +553,12 @@ class PluginHost:
             engine=self._engine,
             chaos=chaos,
         )
-        return clone.call(record.input_bytes, entry=record.entry)
+        return clone.call(
+            record.input_bytes,
+            entry=record.entry,
+            fuel="unset" if rt_fuel is None else rt_fuel,
+            rt=rt_doc,
+        )
 
     def _read_output(self, out_ptr) -> bytes:
         instance = self.instance
@@ -561,16 +620,23 @@ class SchedulerPlugin:
         return self.host.swap(wasm_bytes)
 
     def schedule(
-        self, allocated_prbs: int, ues: list[UeSchedInfo], slot: int
+        self,
+        allocated_prbs: int,
+        ues: list[UeSchedInfo],
+        slot: int,
+        fuel: int | None | str = "unset",
+        rt: dict | None = None,
     ) -> SchedulerCall:
         """Run the plugin's intra-slice scheduler for one slot.
 
         Serialization, the Wasm call, deserialization and timing are all
         included.  Grant *validation* is the caller's job (the gNB's fault
-        policy decides what to do with bad output).
+        policy decides what to do with bad output).  ``fuel``/``rt`` carry
+        the rt dispatcher's per-call budget and decision document through
+        to :meth:`PluginHost.call`.
         """
         payload = wire.pack_sched_input(slot, allocated_prbs, ues)
-        result = self.host.call(payload)
+        result = self.host.call(payload, fuel=fuel, rt=rt)
         try:
             grants = wire.unpack_grants(result.output)
         except wire.WireError as exc:

@@ -25,6 +25,7 @@ The run asserts the system invariants from §6A:
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.abi.host import HostLimits, SchedulerPlugin
@@ -99,11 +100,21 @@ class ChaosRunner:
         recovery_bound: int = 30,
         kpm_period: int = 10,
         fuel: int = 2_000_000,
+        rt=None,
     ):
         self.seed = seed
         self.slots = slots
         self.engine = engine
         self.config = config or ChaosConfig.soak(seed)
+        #: optional rt dispatch policy (:class:`repro.rt.RtPolicy` or its
+        #: string form) - composes budget enforcement with chaos faults;
+        #: chaos ``deadline``/``fuel_cut`` injections keep their own trap
+        #: kinds so the fault log attributes every cut correctly
+        from repro.rt.dispatcher import RtPolicy
+
+        if isinstance(rt, str):
+            rt = RtPolicy.from_string(rt)
+        self.rt = rt
         self.ues_per_slice = ues_per_slice
         self.checkpoint_every = checkpoint_every
         #: slots a slice stays quarantined before the operator releases it
@@ -125,6 +136,7 @@ class ChaosRunner:
         gnb = GnbHost(
             fault_policy=fault_policy,
             checkpoint_every=self.checkpoint_every,
+            rt=self.rt,
         )
         targets = {}
         ue_id = 0
@@ -269,6 +281,13 @@ class ChaosRunner:
         )
         lines.append("[events]")
         lines.extend(events)
+        if gnb.rt is not None:
+            lines.append("[rt]")
+            lines.extend(gnb.rt.events)
+            lines.append(
+                f"[rt counters] "
+                f"{json.dumps(gnb.rt.counters.to_json(), sort_keys=True)}"
+            )
         lines.append("[breakers]")
         for supervisor, side in ((ric.supervisor, "ric"), (node.supervisor, "gnb")):
             for peer, breaker in sorted(supervisor.breakers().items()):

@@ -307,6 +307,9 @@ def _cmd_scale(args) -> int:
         chaos=args.chaos,
         mode=args.mode,
         timeout_s=args.timeout,
+        rt=args.rt,
+        scenario=args.scenario,
+        liveness_timeout_s=args.liveness_timeout,
     )
     try:
         spec.validate()
@@ -424,12 +427,18 @@ def _cmd_chaos(args) -> int:
     """Run the seeded chaos soak and report its invariants."""
     from repro.chaos import ChaosRunner
 
-    runner = ChaosRunner(seed=args.seed, slots=args.slots, engine=args.engine)
+    try:
+        runner = ChaosRunner(
+            seed=args.seed, slots=args.slots, engine=args.engine, rt=args.rt
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     report = runner.run()
     print(report.summary())
     if args.verify_determinism:
         again = ChaosRunner(
-            seed=args.seed, slots=args.slots, engine=args.engine
+            seed=args.seed, slots=args.slots, engine=args.engine, rt=args.rt
         ).run()
         same = again.log == report.log
         print(f"determinism: {'byte-identical' if same else 'DIVERGED'}")
@@ -443,6 +452,143 @@ def _cmd_chaos(args) -> int:
     for violation in report.violations:
         print(f"violation: {violation}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _cmd_rt(args) -> int:
+    """Run an rt stress scenario and report admission + deadline behavior."""
+    import json
+    from dataclasses import replace
+
+    from repro import obs
+    from repro.obs.attribution import attribute_slots
+    from repro.rt.dispatcher import RtPolicy
+    from repro.rt.lanes import parse_lanes
+    from repro.rt.scenarios import (
+        baseline_comparison,
+        run_scenario,
+        scenario_policy,
+        scenario_slots,
+    )
+
+    try:
+        policy = scenario_policy(args.scenario)
+        updates: dict = {}
+        if args.budget_us is not None:
+            updates["budget_us"] = args.budget_us
+        if args.fuel_per_us is not None:
+            updates["fuel_per_us"] = args.fuel_per_us
+        if args.lanes is not None:
+            updates["lanes"] = parse_lanes(args.lanes)
+        if args.admission is not None:
+            updates["admission"] = args.admission == "on"
+        if args.no_enforce:
+            updates["enforce"] = False
+        if args.policy is not None:
+            policy = RtPolicy.from_string(args.policy)
+        policy = replace(policy, **updates)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    slots = args.slots or scenario_slots(args.scenario)
+
+    if args.baseline:
+        cmp = baseline_comparison(
+            seed=args.seed, slots=slots, engine=args.engine
+        )
+        if args.json:
+            print(json.dumps(cmp, indent=2))
+            return 0
+        off, on = cmp["baseline"]["counters"], cmp["enforced"]["counters"]
+        print(
+            f"flash_crowd seed={args.seed} slots={slots}: "
+            f"misses rt-off={off['misses']} rt-on={on['misses']} "
+            f"(reduction {cmp['miss_reduction']:g}x)"
+        )
+        print(
+            f"rt-on: dispatched={on['dispatched']} degraded={on['degraded']} "
+            f"overruns={on['overruns']} shed={on['shed_by_lane']}"
+        )
+        return 0
+
+    obs.enable()
+    obs.reset()
+    # keep the whole run's gnb.step spans for attribution (no eviction)
+    obs.OBS.tracer.resize(max(obs.OBS.tracer.capacity, slots * 64))
+    report = run_scenario(
+        args.scenario, seed=args.seed, slots=slots,
+        policy=policy, engine=args.engine,
+    )
+    attribution = attribute_slots(
+        obs.OBS.tracer.to_json(),
+        slot_name="gnb.step",
+        budget_us=policy.budget_us or None,
+    )
+    if args.verify_determinism:
+        again = run_scenario(
+            args.scenario, seed=args.seed, slots=slots,
+            policy=policy, engine=args.engine,
+        )
+        same = again.digest == report.digest
+        if not args.json:
+            print(
+                f"determinism: {'byte-identical' if same else 'DIVERGED'}"
+            )
+        if not same:
+            print(
+                f"error: digest diverged between runs: "
+                f"{report.digest[:16]} != {again.digest[:16]}",
+                file=sys.stderr,
+            )
+            return 1
+
+    if args.json:
+        doc = report.to_json()
+        doc["attribution"] = attribution.to_json()
+        print(json.dumps(doc, indent=2))
+        return 0
+
+    c = report.counters
+    print(
+        f"{report.name} seed={report.seed} slots={report.slots} "
+        f"engine={report.engine}: dispatched={c['dispatched']} "
+        f"degraded={c['degraded']} overruns={c['overruns']} "
+        f"misses={c['misses']} (rate {report.miss_rate:.4f}) "
+        f"shed={c['shed_by_lane']}"
+    )
+    print(
+        f"quarantines={report.quarantines} "
+        f"readmissions={report.readmissions} handovers={report.handovers} "
+        f"delivered_bytes={report.delivered_bytes}"
+    )
+    if report.suggested_fuel_per_us:
+        print(
+            f"calibrator suggests fuel_per_us="
+            f"{report.suggested_fuel_per_us:g} for this engine "
+            f"(policy pins {policy.fuel_per_us:g})"
+        )
+    print(f"digest: {report.digest}")
+    print()
+    print(
+        f"{'plugin':20s} {'lane':7s} {'verdict':10s} {'p99 fuel':>9s} "
+        f"{'overrun':>7s} {'reject':>6s} {'quar':>5s} {'readmit':>7s}"
+    )
+    for key in sorted(report.plugins):
+        st = report.plugins[key]
+        p99 = st["fuel_p99"]
+        print(
+            f"{key:20s} {st['lane']:7s} {st['last_verdict'] or '-':10s} "
+            f"{p99 if p99 is not None else '-':>9} "
+            f"{st['overruns']:>7d} {st['rejects']:>6d} "
+            f"{st['quarantines']:>5d} {st['readmissions']:>7d}"
+        )
+    print()
+    print(attribution.render_table())
+    if args.log:
+        with open(args.log, "w", encoding="utf-8") as f:
+            f.write(report.log + "\n")
+        print(f"\nadmission/fault log -> {args.log} "
+              f"({len(report.log.splitlines())} lines)")
+    return 0
 
 
 def _cmd_safety(args) -> int:
@@ -628,7 +774,86 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run twice and require byte-identical fault/event logs",
     )
+    p.add_argument(
+        "--rt", metavar="POLICY", default=None,
+        help='rt dispatch policy string (or "on" for defaults): composes '
+        "deadline budgets and admission control with the chaos faults",
+    )
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "rt",
+        help="real-time dispatch: deadline budgets, lanes, admission",
+        description="Runs one of the rt stress scenarios (flash_crowd, "
+        "handover, mixed_sla) through the deadline-aware dispatcher: "
+        "per-call fuel budgets derived from the slot-time budget, priority "
+        "lanes (SLA dispatches first and is never shed), and latency-driven "
+        "admission control with circuit-breaker probation.  Prints "
+        "per-plugin admission verdicts and the deadline-miss attribution "
+        "table; every number is a deterministic function of "
+        "(scenario, seed, slot).",
+    )
+    p.add_argument(
+        "--scenario",
+        choices=["flash_crowd", "handover", "mixed_sla"],
+        default="flash_crowd",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--slots", type=int, default=None,
+        help="run length (default: the scenario's, e.g. flash_crowd=300)",
+    )
+    p.add_argument(
+        "--budget-us", type=float, default=None,
+        help="slot-time budget for plugin work per cell and slot",
+    )
+    p.add_argument(
+        "--fuel-per-us", type=float, default=None,
+        help="pinned fuel<->time exchange rate (policy, not measurement)",
+    )
+    p.add_argument(
+        "--lanes", metavar="SPEC", default=None,
+        help='priority lanes, e.g. "sla:50;normal:30;be:20" '
+        '("!" pins a lane non-sheddable; "sla" always is)',
+    )
+    p.add_argument(
+        "--admission", choices=["on", "off"], default=None,
+        help="p99-driven admission control (default: on)",
+    )
+    p.add_argument(
+        "--no-enforce", action="store_true",
+        help="observe-only baseline: plan budgets and count misses "
+        "but never cut or shed",
+    )
+    p.add_argument(
+        "--policy", metavar="SPEC", default=None,
+        help="full RtPolicy string (overrides the scenario default; "
+        "individual flags still apply on top)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=["legacy", "threaded", "aot"],
+        default=None,
+        help="Wasm engine (default: REPRO_WASM_ENGINE or threaded)",
+    )
+    p.add_argument(
+        "--baseline", action="store_true",
+        help="run the acceptance comparison: flash crowd rt-off vs rt-on, "
+        "reporting the deadline-miss-rate reduction factor",
+    )
+    p.add_argument(
+        "--verify-determinism",
+        action="store_true",
+        help="run twice and require byte-identical report digests",
+    )
+    p.add_argument(
+        "--log", metavar="PATH",
+        help="write the admission/fault/mobility log to a file",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    p.set_defaults(fn=_cmd_rt)
 
     p = sub.add_parser(
         "obs",
@@ -728,6 +953,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--timeout", type=float, default=600.0,
                    help="per-run worker deadline (seconds)")
+    p.add_argument(
+        "--rt", metavar="POLICY", default=None,
+        help='rt dispatch policy string (or "on" for defaults); the '
+        "budget is per cell and slot, never divided by worker count",
+    )
+    p.add_argument(
+        "--scenario",
+        choices=["flash_crowd", "handover", "mixed_sla"],
+        default=None,
+        help="replace the default CBR cells with an rt stress scenario",
+    )
+    p.add_argument(
+        "--liveness-timeout", type=float, default=0.0, metavar="SECONDS",
+        help="fail fast with WorkerFailed when a worker goes silent this "
+        "long (0 = only --timeout applies)",
+    )
     p.set_defaults(fn=_cmd_scale)
 
     p = sub.add_parser(

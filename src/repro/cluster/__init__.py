@@ -24,6 +24,7 @@ from repro.cluster.coordinator import (
     ClusterCoordinator,
     ClusterError,
     ClusterReport,
+    WorkerFailed,
     run_cluster,
 )
 from repro.cluster.loadgen import run_sweep, sweep_specs
@@ -37,6 +38,7 @@ __all__ = [
     "ClusterReport",
     "ClusterSpec",
     "CellShard",
+    "WorkerFailed",
     "build_cell",
     "cell_name",
     "run_cluster",

@@ -43,6 +43,23 @@ class ClusterError(RuntimeError):
     """A worker died, timed out, or sent garbage."""
 
 
+class WorkerFailed(ClusterError):
+    """A specific worker died or went silent mid-run.
+
+    Carries the worker id and the last slot it reported completing (via
+    its flush-cadence progress heartbeats; -1 = died before any), so an
+    operator knows exactly where the run stopped instead of staring at a
+    blocked recv.
+    """
+
+    def __init__(self, worker: int, last_slot: int, detail: str):
+        self.worker = worker
+        self.last_slot = last_slot
+        super().__init__(
+            f"worker {worker} failed after slot {last_slot}: {detail}"
+        )
+
+
 @dataclass
 class ClusterReport:
     """Aggregate results of one scale-out run."""
@@ -298,12 +315,22 @@ class ClusterCoordinator:
         return [self._results[k]["metrics"] for k in sorted(self._results)]
 
     def _pump(self, endpoint, procs) -> None:
-        deadline = time.monotonic() + self.spec.timeout_s
+        now = time.monotonic()
+        deadline = now + self.spec.timeout_s
+        liveness = self.spec.liveness_timeout_s or None
         pending = set(procs)
+        progress = {w: -1 for w in procs}  # last slot each worker reported
+        last_seen = {w: now for w in procs}
+        dead_since: dict[int, float] = {}
         while pending:
             item = endpoint.recv(timeout=0.2)
             if item is not None:
-                _source, data = item
+                source, data = item
+                if source.startswith("worker"):
+                    try:
+                        last_seen[int(source[6:])] = time.monotonic()
+                    except (ValueError, KeyError):
+                        pass
                 if is_batch(data):
                     self._ingest_frame(data)
                     self.ric.step()
@@ -317,20 +344,42 @@ class ClusterCoordinator:
                 elif doc.get("t") == "result":
                     self._results[int(doc["worker"])] = doc
                     pending.discard(int(doc["worker"]))
+                elif doc.get("t") == "progress":
+                    progress[int(doc["worker"])] = int(doc["slot"])
                 elif doc.get("t") == "error":
-                    raise ClusterError(
-                        f"worker {doc.get('worker')} failed: "
-                        f"{doc.get('detail')}"
+                    worker = int(doc.get("worker", -1))
+                    raise WorkerFailed(
+                        worker, progress.get(worker, -1), str(doc.get("detail"))
                     )
                 continue
+            now = time.monotonic()
             for worker_id in sorted(pending):
                 proc = procs[worker_id]
-                if proc.exitcode is not None and proc.exitcode != 0:
-                    raise ClusterError(
-                        f"worker {worker_id} exited with "
-                        f"code {proc.exitcode} before reporting"
+                if proc.exitcode is not None:
+                    if proc.exitcode != 0:
+                        raise WorkerFailed(
+                            worker_id,
+                            progress[worker_id],
+                            f"exited with code {proc.exitcode} "
+                            "before reporting",
+                        )
+                    # clean exit without a result frame: allow a short
+                    # grace for in-flight frames to drain, then fail fast
+                    died = dead_since.setdefault(worker_id, now)
+                    if now - died > 2.0:
+                        raise WorkerFailed(
+                            worker_id,
+                            progress[worker_id],
+                            "exited cleanly without reporting a result",
+                        )
+                elif liveness and now - last_seen[worker_id] > liveness:
+                    raise WorkerFailed(
+                        worker_id,
+                        progress[worker_id],
+                        f"no frame or heartbeat for {liveness:.0f}s "
+                        "(liveness_timeout_s)",
                     )
-            if time.monotonic() > deadline:
+            if now > deadline:
                 raise ClusterError(
                     f"workers {sorted(pending)} did not report within "
                     f"{self.spec.timeout_s:.0f}s"

@@ -15,6 +15,7 @@ byte-identical no matter how the cells are sharded.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.abi.host import HostLimits, SchedulerPlugin
@@ -41,9 +42,23 @@ class CellShard:
     name: str
     gnb: GnbHost
     node: E2NodeAgent
+    #: scenario mobility driver (handover cells only); stepped every slot
+    stepper: object | None = None
     quarantined_at: dict[int, int] = field(default_factory=dict)
     released_at: dict[int, int] = field(default_factory=dict)
     ops_events: list[str] = field(default_factory=list)
+
+
+def _rt_policy(spec: ClusterSpec):
+    """The spec's rt policy (scenario default when only a scenario is set)."""
+    from repro.rt.dispatcher import RtPolicy
+    from repro.rt.scenarios import scenario_policy
+
+    if spec.rt is not None:
+        return RtPolicy.from_string(spec.rt)
+    if spec.scenario is not None:
+        return scenario_policy(spec.scenario)
+    return None
 
 
 def build_cell(
@@ -57,13 +72,19 @@ def build_cell(
     from repro.plugins import SCHEDULER_PLUGINS, plugin_wasm
 
     name = cell_name(cell_id)
+    if spec.scenario is not None:
+        return _build_scenario_cell(spec, cell_id, sender, profile, schedule)
     if schedule is not None:
         fault_policy = FaultPolicy(quarantine_after=2, disconnect_after=10)
         checkpoint_every = spec.checkpoint_every
     else:
         fault_policy = FaultPolicy()
         checkpoint_every = 0
-    gnb = GnbHost(fault_policy=fault_policy, checkpoint_every=checkpoint_every)
+    gnb = GnbHost(
+        fault_policy=fault_policy,
+        checkpoint_every=checkpoint_every,
+        rt=_rt_policy(spec),
+    )
 
     targets: dict[int, float] = {}
     for sid, plugin in enumerate(SCHEDULER_PLUGINS, start=1):
@@ -102,6 +123,42 @@ def build_cell(
     )
     node.local_subscribe(cell_id + 1, COORD, spec.kpm_period)
     return CellShard(cell_id, name, gnb, node)
+
+
+def _build_scenario_cell(
+    spec: ClusterSpec,
+    cell_id: int,
+    sender: BatchSender,
+    profile: VendorProfile,
+    schedule=None,
+) -> CellShard:
+    """A scenario cell: same pure-function-of-(spec, cell) contract.
+
+    Delegates to :func:`repro.rt.scenarios.build_scenario_gnb`; plugin
+    names (admission identity, metric label, chaos site) are namespaced
+    per cell, and the handover stepper - when the scenario has one -
+    derives every itinerary from the spec alone.
+    """
+    from repro.rt.scenarios import build_scenario_gnb
+
+    name = cell_name(cell_id)
+    gnb, stepper = build_scenario_gnb(
+        spec.scenario,
+        spec.seed,
+        cell_id,
+        n_cells=spec.cells,
+        policy=_rt_policy(spec),
+        engine=spec.engine,
+        chaos=schedule,
+        fuel=spec.fuel,
+        checkpoint_every=spec.checkpoint_every if schedule is not None else 0,
+        name_prefix=f"{name}/",
+    )
+    node = E2NodeAgent(
+        gnb, BatchedUplinkChannel(name, profile, sender), node_id=name
+    )
+    node.local_subscribe(cell_id + 1, COORD, spec.kpm_period)
+    return CellShard(cell_id, name, gnb, node, stepper=stepper)
 
 
 def step_operator_loop(cell: CellShard, slot: int, release_after: int) -> None:
@@ -153,6 +210,18 @@ def render_cell_log(cell: CellShard, spec: ClusterSpec, engine: str, schedule) -
         for e in cell.gnb.fault_policy.events
     )
     lines.extend(cell.ops_events)
+    if cell.gnb.rt is not None:
+        # rt decisions are pure functions of (spec, seed, slot), so the
+        # admission log and counters belong in the digested cell log
+        lines.append("[rt]")
+        lines.extend(cell.gnb.rt.events)
+        lines.append(
+            f"[rt counters] "
+            f"{json.dumps(cell.gnb.rt.counters.to_json(), sort_keys=True)}"
+        )
+    if cell.stepper is not None:
+        lines.append("[mobility]")
+        lines.extend(cell.stepper.events)
     # NB: no uplink counters here - backpressure drops depend on which
     # cells share a worker's queue, and this log must not
     lines.append(f"disconnected={sorted(cell.gnb.fault_policy.disconnected)}")

@@ -63,6 +63,19 @@ class ClusterSpec:
     #: per-slot latency budget (us); overruns emit ``trace.deadline_miss``
     #: events naming the guilty segment (0 = no budget tracking)
     budget_us: float = 0.0
+    #: rt dispatch policy (an :meth:`repro.rt.RtPolicy.to_string` string,
+    #: or ``"on"``/``"default"``); ``None`` keeps unconditional dispatch.
+    #: The budget is defined *per cell and slot* - never divided by the
+    #: worker count - so oversubscribed shards shed load per cell instead
+    #: of ballooning p99, and digests stay worker-count invariant.
+    rt: str | None = None
+    #: rt stress scenario (``flash_crowd``/``handover``/``mixed_sla``);
+    #: replaces the default CBR cell build with the scenario's cells
+    scenario: str | None = None
+    #: seconds without any frame or heartbeat from a pending worker before
+    #: the coordinator raises :class:`WorkerFailed` (0 = only the overall
+    #: ``timeout_s`` applies).  Workers heartbeat at the flush cadence.
+    liveness_timeout_s: float = 0.0
 
     def validate(self) -> None:
         if self.workers < 1:
@@ -77,6 +90,20 @@ class ClusterSpec:
             raise ValueError(f"unknown mode {self.mode!r}")
         if self.budget_us < 0:
             raise ValueError("budget_us must be non-negative")
+        if self.liveness_timeout_s < 0:
+            raise ValueError("liveness_timeout_s must be non-negative")
+        if self.rt is not None:
+            from repro.rt.dispatcher import RtPolicy
+
+            RtPolicy.from_string(self.rt)  # raises on a malformed policy
+        if self.scenario is not None:
+            from repro.rt.scenarios import SCENARIOS
+
+            if self.scenario not in SCENARIOS:
+                raise ValueError(
+                    f"unknown scenario {self.scenario!r} "
+                    f"(expected one of {SCENARIOS})"
+                )
 
     # ----- sharding ---------------------------------------------------------
 

@@ -30,6 +30,7 @@ distinguished by magic::
 from __future__ import annotations
 
 import json
+import os
 import struct
 import time
 from typing import Any
@@ -113,6 +114,28 @@ def run_worker(
     registry.gauge(
         "waran_cluster_cells", "cells hosted, by worker"
     ).set(len(cells), worker=label)
+    if cells and cells[0].gnb.rt is not None:
+        # the rt budget is per *cell* and slot (policy-defined, never
+        # divided by worker count): an oversubscribed shard sheds load
+        # inside each cell's own budget instead of ballooning p99.  The
+        # gauge reports the shard's aggregate fuel ceiling per slot.
+        registry.gauge(
+            "waran_rt_shard_budget_fuel",
+            "aggregate per-slot plugin fuel ceiling across hosted cells, "
+            "by worker",
+        ).set(
+            sum(cell.gnb.rt.slot_budget_fuel for cell in cells),
+            worker=label,
+        )
+    #: test hook: REPRO_TEST_WORKER_DIE="<worker>:<slot>" hard-kills this
+    #: worker process at that slot (exit code 0 - the nastiest case: the
+    #: coordinator sees a clean exit with no result frame)
+    die_at = None
+    die_spec = os.environ.get("REPRO_TEST_WORKER_DIE")
+    if die_spec:
+        die_worker, _, die_slot = die_spec.partition(":")
+        if int(die_worker) == worker_id:
+            die_at = int(die_slot)
     slot_hist = registry.histogram(
         "waran_cluster_slot_us",
         "per-slot shard step time (all hosted cells), by worker (us)",
@@ -129,16 +152,28 @@ def run_worker(
     ) as run_span:
         run_ctx = run_span.context if run_span is not obs.NULL_SPAN else None
         for slot in range(spec.slots):
+            if die_at is not None and slot == die_at:
+                os._exit(0)  # simulated hard crash for the fail-fast test
             with tracer.span("worker.slot", slot=slot) as slot_span:
                 s0 = time.perf_counter()
                 for cell in cells:
+                    if cell.stepper is not None:
+                        cell.stepper.step(slot)
                     cell.gnb.step()
                     cell.node.step()
-                    if schedule is not None:
+                    if schedule is not None or spec.scenario is not None:
                         step_operator_loop(cell, slot, spec.release_after)
                 slot_hist.observe((time.perf_counter() - s0) * 1e6, worker=label)
                 if (slot + 1) % spec.flush_every == 0:
                     sender.flush()
+                    # liveness heartbeat: lets the coordinator name the
+                    # last completed slot when a worker later goes dark
+                    endpoint.send(
+                        COORD,
+                        pack_control(
+                            {"t": "progress", "worker": worker_id, "slot": slot}
+                        ),
+                    )
             if budget and slot_span is not obs.NULL_SPAN:
                 elapsed = slot_span.elapsed_us
                 if elapsed > budget:

@@ -11,6 +11,7 @@ from repro.metrics import Accumulator, RateMeter, StreamingQuantile
 from repro.obs import OBS
 from repro.phy.numerology import CarrierConfig
 from repro.phy.tbs import transport_block_size_bits
+from repro.rt.dispatcher import DeadlineDispatcher, RtDecision, RtPolicy, RtRequest
 from repro.sched.intra import IntraSliceScheduler, make_intra_scheduler
 from repro.sched.inter import InterSliceScheduler
 from repro.sched.types import (
@@ -58,9 +59,12 @@ class SliceRuntime:
         slice_id: int,
         name: str,
         default_scheduler: str = "rr",
+        lane: str = "normal",
     ):
         self.slice_id = slice_id
         self.name = name
+        #: rt priority lane (``sla`` dispatches first and is never shed)
+        self.lane = lane
         self.default: IntraSliceScheduler = make_intra_scheduler(default_scheduler)
         self.plugin: SchedulerPlugin | None = None
         self.native: IntraSliceScheduler | None = None
@@ -109,10 +113,19 @@ class GnbHost:
         pf_time_constant_slots: int = 100,
         error_model=None,
         checkpoint_every: int = 0,
+        rt: DeadlineDispatcher | RtPolicy | None = None,
     ):
         self.carrier = carrier or CarrierConfig()
         self.inter_slice = inter_slice
         self.fault_policy = fault_policy or FaultPolicy()
+        #: the real-time dispatcher: per-call fuel budgets derived from the
+        #: slot-time budget, priority lanes, admission control.  ``None``
+        #: keeps the legacy unconditional dispatch.
+        if isinstance(rt, RtPolicy):
+            rt = DeadlineDispatcher(
+                rt, slot_us=self.carrier.slot_duration_s * 1e6
+            )
+        self.rt = rt
         self.pf_time_constant_slots = pf_time_constant_slots
         #: take a plugin checkpoint every N successful scheduling calls
         #: (0 disables; the chaos runner turns this on so a quarantined
@@ -200,12 +213,35 @@ class GnbHost:
             n = max(len(slice_ues), 1)
             allocation = {sid: self.carrier.n_prb // n for sid in slice_ues}
 
-        # 4. intra-slice scheduling, 5. grant execution
+        # 4. intra-slice scheduling (rt: lanes planned, budgets assigned,
+        # SLA-priority dispatch order), 5. grant execution
+        rt_decisions: dict[int, RtDecision] = {}
+        order = list(slice_ues.keys())
+        if self.rt is not None:
+            requests = []
+            for sid in order:
+                runtime = self.slices[sid]
+                if (
+                    runtime.plugin is not None
+                    and not self.fault_policy.is_quarantined(sid)
+                    and allocation.get(sid, 0) > 0
+                    and slice_ues[sid]
+                ):
+                    requests.append(
+                        RtRequest(sid, runtime.plugin.name, runtime.lane)
+                    )
+            decisions = self.rt.plan_slot(self.slot, requests)
+            rt_decisions = {d.sid: d for d in decisions}
+            rank = {d.sid: i for i, d in enumerate(decisions)}
+            order.sort(
+                key=lambda sid: (0, rank[sid]) if sid in rank else (1, sid)
+            )
         executed: dict[int, list[UeGrant]] = {}
         served: set[int] = set()
-        for sid, ues in slice_ues.items():
+        for sid in order:
+            ues = slice_ues[sid]
             prbs = allocation.get(sid, 0)
-            grants = self._schedule_slice(sid, prbs, ues)
+            grants = self._schedule_slice(sid, prbs, ues, rt_decisions.get(sid))
             executed[sid] = grants
             runtime = self.slices[sid]
             for grant in grants:
@@ -234,6 +270,8 @@ class GnbHost:
             if ue.ue_id not in served:
                 self._update_avg(ue, 0, slot_dt)
 
+        if self.rt is not None:
+            self.rt.settle(self.slot)
         self.slot += 1
         return executed
 
@@ -243,7 +281,11 @@ class GnbHost:
         ue.avg_tput_bps = (1 - alpha) * ue.avg_tput_bps + alpha * instant_bps
 
     def _schedule_slice(
-        self, sid: int, prbs: int, ues: list[UeSchedInfo]
+        self,
+        sid: int,
+        prbs: int,
+        ues: list[UeSchedInfo],
+        decision: RtDecision | None = None,
     ) -> list[UeGrant]:
         runtime = self.slices[sid]
         if prbs <= 0 or not ues:
@@ -253,12 +295,31 @@ class GnbHost:
             runtime.plugin is not None
             and not self.fault_policy.is_quarantined(sid)
         )
+        if use_plugin and decision is not None and not decision.dispatches:
+            # rt degradation: rejected / quarantined / shed this slot - the
+            # native fallback serves the slice, the plugin is not called
+            use_plugin = False
         if use_plugin:
+            fuel = "unset"
+            rt_attrs = None
+            if decision is not None and decision.fuel_budget is not None:
+                fuel = decision.fuel_budget
+                rt_attrs = decision.to_attrs()
             try:
-                call = runtime.plugin.schedule(prbs, ues, self.slot)
+                call = runtime.plugin.schedule(
+                    prbs, ues, self.slot, fuel=fuel, rt=rt_attrs
+                )
                 validate_grants(call.grants, prbs, ues)
             except (PluginError, GrantValidationError) as exc:
                 kind = exc.kind if isinstance(exc, PluginError) else "grants"
+                if self.rt is not None and decision is not None:
+                    self.rt.observe_call(
+                        decision,
+                        self.slot,
+                        fuel_used=None,
+                        elapsed_us=0.0,
+                        overrun=kind == "deadline",
+                    )
                 action = self.fault_policy.record_fault(
                     self.slot, sid, kind, str(exc)
                 )
@@ -266,6 +327,14 @@ class GnbHost:
                     return []
                 return runtime.default.schedule(prbs, ues, self.slot)
             self.fault_policy.record_success(sid)
+            if self.rt is not None and decision is not None:
+                self.rt.observe_call(
+                    decision,
+                    self.slot,
+                    fuel_used=call.fuel_used,
+                    elapsed_us=call.elapsed_us,
+                    overrun=False,
+                )
             if self.checkpoint_every:
                 runtime.successes += 1
                 if runtime.successes % self.checkpoint_every == 0:

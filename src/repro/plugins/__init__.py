@@ -23,6 +23,7 @@ _PRELUDE_PLUGINS = frozenset(
         "rr",
         "pf",
         "mt",
+        "hog",
         "leaky",
         "fault_null",
         "fault_oob",

@@ -1,0 +1,149 @@
+"""Priority lanes: how one slot's fuel budget is split across plugins.
+
+A *lane* is a priority class for plugin dispatch.  Every slice runtime is
+assigned to a lane (``sla`` for SLA-critical schedulers, ``be`` for
+best-effort, ``normal`` between them); when the slot's fuel budget is
+scarce, higher-priority lanes are planned first and non-sheddable lanes
+are never the ones dropped.
+
+The planner (:func:`plan_lanes`) is a pure function of its arguments -
+no clocks, no RNG - so lane decisions are deterministic functions of
+(spec, seed, slot) as the cluster digest invariance requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LaneSpec:
+    """One priority class.
+
+    ``share`` is the lane's guaranteed fraction of the slot fuel budget
+    (normalised over all lanes); budget unused by higher-priority lanes
+    rolls down.  ``sheddable=False`` lanes are never shed by the planner:
+    when their equal split is below ``min_call_fuel`` they still dispatch
+    (and may fuel-cut), because dropping an SLA plugin silently is worse
+    than degrading it visibly.
+    """
+
+    name: str
+    priority: int  # lower dispatches first
+    share: float
+    sheddable: bool = True
+
+
+#: the default three-class portfolio: half the budget guaranteed to the
+#: SLA lane, the rest split between normal and best-effort
+DEFAULT_LANES: tuple[LaneSpec, ...] = (
+    LaneSpec("sla", 0, 0.5, sheddable=False),
+    LaneSpec("normal", 1, 0.3),
+    LaneSpec("be", 2, 0.2),
+)
+
+LANE_SLA = "sla"
+LANE_NORMAL = "normal"
+LANE_BE = "be"
+
+
+def parse_lanes(text: str) -> tuple[LaneSpec, ...]:
+    """Parse ``"sla:50;normal:30;be:20"`` into lane specs.
+
+    Entries are ``name:share`` (share in percent, any positive scale),
+    priority follows listing order, and a lane named ``sla`` - or marked
+    with a trailing ``!`` (``"gold!:60;be:40"``) - is non-sheddable.
+    """
+    lanes: list[LaneSpec] = []
+    for prio, entry in enumerate(p for p in text.replace(",", ";").split(";") if p):
+        name, _, share_text = entry.partition(":")
+        name = name.strip()
+        pinned = name.endswith("!")
+        if pinned:
+            name = name[:-1]
+        if not name:
+            raise ValueError(f"empty lane name in {text!r}")
+        try:
+            share = float(share_text) if share_text else 1.0
+        except ValueError as exc:
+            raise ValueError(f"bad lane share in {entry!r}") from exc
+        if share <= 0:
+            raise ValueError(f"lane {name!r} share must be positive")
+        lanes.append(
+            LaneSpec(name, prio, share, sheddable=not (pinned or name == LANE_SLA))
+        )
+    if not lanes:
+        raise ValueError(f"no lanes in {text!r}")
+    names = [lane.name for lane in lanes]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate lane names in {text!r}")
+    return tuple(lanes)
+
+
+def format_lanes(lanes: tuple[LaneSpec, ...]) -> str:
+    """The inverse of :func:`parse_lanes` (share rendered as percent)."""
+    total = sum(lane.share for lane in lanes)
+    parts = []
+    for lane in sorted(lanes, key=lambda l: l.priority):
+        mark = "" if lane.sheddable or lane.name == LANE_SLA else "!"
+        parts.append(f"{lane.name}{mark}:{100.0 * lane.share / total:g}")
+    return ";".join(parts)
+
+
+@dataclass(frozen=True)
+class LaneAssignment:
+    """The planner's output for one request: a fuel budget or a shed."""
+
+    index: int  # position in the request list handed to plan_lanes
+    lane: str
+    fuel: int | None  # None = shed (no budget left for this call)
+
+
+def plan_lanes(
+    budget_fuel: int,
+    requests: list[tuple[str, str]],  # (key, lane) in dispatch-stable order
+    lanes: tuple[LaneSpec, ...],
+    min_call_fuel: int,
+) -> list[LaneAssignment]:
+    """Split ``budget_fuel`` across requests, priority lanes first.
+
+    Each lane gets its guaranteed share plus whatever higher-priority
+    lanes left unused; within a lane the budget is split equally.  When a
+    sheddable lane's equal split falls below ``min_call_fuel`` the lane
+    admits as many requests as still get ``min_call_fuel`` (in request
+    order) and sheds the rest.  Returned in lane-priority dispatch order.
+    """
+    by_name = {lane.name: lane for lane in lanes}
+    fallback = min(lanes, key=lambda l: (-l.priority, l.name))
+    groups: dict[str, list[int]] = {lane.name: [] for lane in lanes}
+    for i, (_key, lane_name) in enumerate(requests):
+        groups[lane_name if lane_name in by_name else fallback.name].append(i)
+
+    total_share = sum(lane.share for lane in lanes) or 1.0
+    assignments: list[LaneAssignment] = []
+    remaining = max(0, budget_fuel)
+    unused = 0  # budget released by higher-priority lanes
+    for lane in sorted(lanes, key=lambda l: (l.priority, l.name)):
+        quota = int(budget_fuel * lane.share / total_share)
+        avail = min(remaining, quota + unused)
+        members = groups[lane.name]
+        if not members:
+            unused = avail
+            continue
+        used = 0
+        per_call = avail // len(members)
+        if per_call >= min_call_fuel or not lane.sheddable:
+            for i in members:
+                assignments.append(LaneAssignment(i, lane.name, per_call))
+            used = per_call * len(members)
+        else:
+            admit = avail // min_call_fuel if min_call_fuel > 0 else len(members)
+            for pos, i in enumerate(members):
+                if pos < admit:
+                    assignments.append(LaneAssignment(i, lane.name, min_call_fuel))
+                    used += min_call_fuel
+                else:
+                    assignments.append(LaneAssignment(i, lane.name, None))
+        unused = avail - used
+        remaining -= used
+    return assignments

@@ -38,6 +38,45 @@ class CbrSource(TrafficSource):
         return whole
 
 
+class BurstSource(TrafficSource):
+    """CBR with a deterministic flash-crowd window.
+
+    Arrives at ``base_bps`` outside ``[start_s, end_s)`` and at
+    ``burst_bps`` inside it.  Unlike :class:`OnOffSource` there is no RNG
+    at all - the burst window is part of the scenario spec - so runs are
+    byte-identical across processes and worker counts (the rt stress
+    scenarios depend on that for their digest invariance).
+    """
+
+    def __init__(
+        self,
+        base_bps: float,
+        burst_bps: float,
+        start_s: float,
+        end_s: float,
+    ):
+        if base_bps < 0 or burst_bps < 0:
+            raise ValueError("rates must be non-negative")
+        if end_s < start_s:
+            raise ValueError("burst window must not end before it starts")
+        self.base_bps = base_bps
+        self.burst_bps = burst_bps
+        self.start_s = start_s
+        self.end_s = end_s
+        self._carry = 0.0
+
+    def arrivals(self, now_s: float, dt_s: float) -> int:
+        end = now_s + dt_s
+        burst_overlap = max(0.0, min(end, self.end_s) - max(now_s, self.start_s))
+        base_time = dt_s - burst_overlap
+        exact = (
+            self.base_bps * base_time + self.burst_bps * burst_overlap
+        ) / 8 + self._carry
+        whole = int(exact)
+        self._carry = exact - whole
+        return whole
+
+
 class PoissonSource(TrafficSource):
     """Poisson packet arrivals of fixed size."""
 

@@ -185,6 +185,124 @@ class TestSupervisorCall:
         raise OSError("down")
 
 
+class TestBreakerEdges:
+    """Half-open races, seeded backoff determinism, full recovery arcs."""
+
+    def test_half_open_admits_concurrent_probes(self):
+        # the half-open gate is not a single-probe mutex: two callers that
+        # both pass allow() in the same tick may both probe; the breaker
+        # settles on whichever outcome is recorded
+        breaker = CircuitBreaker(
+            "peer", failure_threshold=1, reset_after=10.0, half_open_successes=2
+        )
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=10.0)
+        assert breaker.allow(now=10.0)  # second concurrent send also probes
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_failure_beats_racing_success(self):
+        # probe A succeeds (1 of 2), racing probe B fails: the failure wins
+        # and the partial success must not survive into the next probation
+        breaker = CircuitBreaker(
+            "peer", failure_threshold=1, reset_after=10.0, half_open_successes=2
+        )
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=10.0)
+        breaker.record_success(now=10.0)  # probe A: 1/2
+        breaker.record_failure(now=10.0)  # probe B: reopen
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow(now=15.0)  # timer restarted at the relapse
+
+        # next probation starts counting probes from zero
+        assert breaker.allow(now=20.0)
+        breaker.record_success(now=20.0)
+        assert breaker.state is BreakerState.HALF_OPEN  # A's old probe forgotten
+        breaker.record_success(now=21.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_supervisor_half_open_relapse_round_trip(self):
+        supervisor = Supervisor(
+            policy=RetryPolicy(max_attempts=1),
+            failure_threshold=1,
+            reset_after=3.0,
+            half_open_successes=2,
+        )
+
+        def fails():
+            raise OSError("down")
+
+        with pytest.raises(OSError):
+            supervisor.call("peer", fails, retry_on=(OSError,))
+        for _ in range(3):
+            supervisor.tick()
+        assert supervisor.call("peer", lambda: "probe-1") == "probe-1"
+        with pytest.raises(OSError):  # racing send fails the probation
+            supervisor.call("peer", fails, retry_on=(OSError,))
+        with pytest.raises(CircuitOpenError):
+            supervisor.call("peer", lambda: "rejected")
+        for _ in range(3):
+            supervisor.tick()
+        assert supervisor.call("peer", lambda: "probe-2") == "probe-2"
+        assert supervisor.call("peer", lambda: "probe-3") == "probe-3"
+        breaker = supervisor.breaker("peer")
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.transitions == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+
+    def test_backoff_jitter_deterministic_per_seed_and_peer(self):
+        def delays(seed, peer):
+            supervisor = Supervisor(seed=seed)
+            rng = supervisor._peer(peer).rng
+            return [supervisor.policy.delay(a, rng) for a in range(6)]
+
+        assert delays(3, "ric") == delays(3, "ric")  # same seed: same jitter
+        assert delays(3, "ric") != delays(4, "ric")  # seed changes the stream
+        assert delays(3, "ric") != delays(3, "gnb")  # peers are independent
+
+    def test_quarantine_probation_release_with_recovering_plugin(self):
+        """The rt admission arc rides this breaker: overruns quarantine a
+        plugin, probation half-opens it, and a recovered plugin re-admits
+        through in-budget probes (the round-trip the scenarios assert
+        end-to-end with real Wasm)."""
+        from repro.rt import DeadlineDispatcher, RtPolicy, RtRequest
+
+        dispatcher = DeadlineDispatcher(
+            RtPolicy(
+                budget_us=400.0, quarantine_after=2,
+                probation_slots=8, probe_successes=2,
+            ),
+            slot_us=1000.0,
+        )
+        requests = [RtRequest(1, "flaky", "be")]
+        hot_until = 6  # the plugin misbehaves for the first six slots
+
+        for slot in range(30):
+            for decision in dispatcher.plan_slot(slot, requests):
+                if not decision.dispatches:
+                    continue
+                overrun = slot < hot_until
+                dispatcher.observe_call(
+                    decision, slot,
+                    fuel_used=decision.fuel_budget if overrun else 300,
+                    elapsed_us=5.0, overrun=overrun,
+                )
+            dispatcher.settle(slot)
+
+        st = dispatcher.admission.state("flaky")
+        breaker = st.breaker
+        assert st.quarantines == 1
+        assert st.readmissions == 1
+        assert breaker.state is BreakerState.CLOSED
+        assert ("closed", "open") in breaker.transitions
+        assert ("open", "half_open") in breaker.transitions
+        assert ("half_open", "closed") in breaker.transitions
+
+
 class TestSupervisorObservability:
     def test_transition_and_outcome_metrics(self):
         obs.enable()

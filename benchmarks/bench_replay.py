@@ -1,0 +1,55 @@
+"""Replay-corpus benchmark - the committed soaks re-run standalone.
+
+Executes the starter corpora under ``tests/replay/corpus/`` (reduced
+recordings of the chaos soak and the rt flash-crowd scenario) under all
+three engines.  Each run must stay **bit-identical** to the recording -
+outcome kinds, output bytes and fuel counts - while the harness times
+every call; this is the Wasm-R3-style "record once, benchmark forever"
+workload the replay subsystem exists for.
+
+Live results land in :data:`benchmarks.conftest.REPLAY_LIVE`; the
+session writer persists them to ``BENCH_replay.json`` and the ``zz``
+gate fails on any fidelity mismatch (absolute) or a mean-call-time
+regression vs the committed baseline (``WARAN_PERF_GATE[_TOLERANCE]``).
+"""
+
+import pathlib
+
+import pytest
+
+from benchmarks.conftest import REPLAY_LIVE
+from repro.replay import load_corpus, replay_corpus
+from repro.wasm.threaded import ENGINES
+
+CORPUS_DIR = (
+    pathlib.Path(__file__).resolve().parent.parent / "tests" / "replay" / "corpus"
+)
+CORPORA = sorted(CORPUS_DIR.glob("*.wrc"))
+
+
+@pytest.mark.benchmark(group="replay")
+@pytest.mark.parametrize("path", CORPORA, ids=[p.stem for p in CORPORA])
+@pytest.mark.parametrize("engine", ENGINES)
+def test_replay_corpus(benchmark, path, engine):
+    """One corpus, one engine: fidelity must hold while we time it."""
+    corpus = load_corpus(path)
+
+    report = benchmark.pedantic(
+        replay_corpus, args=(corpus,), kwargs={"engine": engine},
+        rounds=3, iterations=1,
+    )
+
+    assert report.ok, [s.mismatches for s in report.streams if not s.ok]
+    assert report.total_calls == corpus.total_calls
+
+    REPLAY_LIVE.setdefault(path.stem, {})[engine] = {
+        "calls": report.total_calls,
+        "mismatched": report.total_calls - report.total_matched,
+        "fidelity_ok": report.ok,
+        "fidelity_digest": report.fidelity_digest,
+        "streams": len(report.streams),
+        "fuel_total": sum(s.fuel_total for s in report.streams),
+        "total_us": round(report.total_us, 1),
+        "mean_call_us": round(report.mean_call_us, 2),
+    }
+    print(f"\n{path.stem} [{engine}]: {report.summary()}")

@@ -21,6 +21,7 @@ import pytest
 from benchmarks.conftest import (
     aot_gate_violations,
     perf_gate_violations,
+    replay_gate_violations,
     rt_gate_violations,
 )
 
@@ -58,3 +59,17 @@ def test_rt_dispatch_holds_miss_reduction(benchmark):
     """
     violations = benchmark.pedantic(rt_gate_violations, rounds=1, iterations=1)
     assert not violations, "rt dispatch perf gate:\n" + "\n".join(violations)
+
+
+@pytest.mark.benchmark(group="perf-gate")
+def test_replay_corpora_stay_faithful_and_fast(benchmark):
+    """Committed replay corpora must reproduce bit-exactly, and not slow.
+
+    Fidelity is exact (outcomes/outputs/fuel), so a mismatch fails the
+    gate regardless of escape hatches; the mean-call-time side diffs
+    against ``BENCH_replay.json`` under ``WARAN_PERF_GATE[_TOLERANCE]``.
+    """
+    violations = benchmark.pedantic(
+        replay_gate_violations, rounds=1, iterations=1
+    )
+    assert not violations, "replay perf gate:\n" + "\n".join(violations)

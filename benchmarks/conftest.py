@@ -34,12 +34,26 @@ BENCH_THREADED_PATH = (
 )
 BENCH_AOT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_aot.json"
 BENCH_RT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_rt.json"
+BENCH_REPLAY_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_replay.json"
+)
+BENCH_FUEL_CAL_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_fuel_calibration.json"
+)
 
 _ran_benchmarks = False
 
 #: live rt-dispatch results, filled in by ``bench_rt.py`` during the
 #: session and judged by the ``zz`` gate / persisted at session end
 RT_LIVE: dict = {}
+
+#: live replay-corpus results (``bench_replay.py``): per committed corpus,
+#: per engine, the fidelity verdict and timing stats
+REPLAY_LIVE: dict = {}
+
+#: live fuel-calibration rates (``bench_fuel_calibration.py``): per
+#: engine, the measured fuel->wall-clock exchange rate vs the pinned one
+FUEL_CAL_LIVE: dict = {}
 
 #: floor for the rt tier: enforced flash crowd must cut the deadline-miss
 #: rate by at least this factor vs the observe-only baseline (fuel-defined
@@ -112,6 +126,25 @@ def pytest_sessionfinish(session, exitstatus):
         }
         BENCH_RT_PATH.write_text(
             json.dumps(rt_doc, indent=2, sort_keys=True) + "\n"
+        )
+    if REPLAY_LIVE:
+        replay_doc = {
+            "schema": "waran-bench-replay/1",
+            "written_unix": int(time.time()),
+            "corpora": REPLAY_LIVE,
+        }
+        BENCH_REPLAY_PATH.write_text(
+            json.dumps(replay_doc, indent=2, sort_keys=True) + "\n"
+        )
+    if FUEL_CAL_LIVE:
+        cal_doc = {
+            "schema": "waran-bench-fuelcal/1",
+            "written_unix": int(time.time()),
+            "misprediction_factor": FUEL_CAL_MISPREDICTION_FACTOR,
+            "engines": FUEL_CAL_LIVE,
+        }
+        BENCH_FUEL_CAL_PATH.write_text(
+            json.dumps(cal_doc, indent=2, sort_keys=True) + "\n"
         )
 
 
@@ -283,6 +316,51 @@ def rt_gate_violations() -> list[str]:
             f"({live['shed_by_lane']['sla']} calls): the sla lane is "
             "non-sheddable by contract"
         )
+    return violations
+
+
+#: a measured fuel->us rate further than this factor from the pinned
+#: ``RtPolicy.fuel_per_us`` is flagged as a misprediction (reporting only)
+FUEL_CAL_MISPREDICTION_FACTOR = 2.0
+
+
+def replay_gate_violations() -> list[str]:
+    """Gate the replay tier: fidelity is absolute, timing vs baseline.
+
+    A fidelity mismatch (a committed corpus no longer reproduces its
+    recorded outputs/traps/fuel bit-exactly) always violates - it is an
+    exact, machine-independent property, so no escape hatch applies.
+    The wall-clock side compares each corpus's per-engine ``mean_call_us``
+    against the committed ``BENCH_replay.json`` and honours
+    ``WARAN_PERF_GATE[_TOLERANCE]`` like the other gates.
+    """
+    violations = []
+    for corpus, engines in sorted(REPLAY_LIVE.items()):
+        for engine, live in sorted(engines.items()):
+            if not live.get("fidelity_ok", True):
+                violations.append(
+                    f"replay corpus {corpus} under {engine}: "
+                    f"{live.get('mismatched', '?')} of {live.get('calls', '?')} "
+                    f"calls no longer reproduce the recording bit-exactly"
+                )
+    if os.environ.get(GATE_ENV, "").lower() in ("off", "0", "false"):
+        return violations
+    if not REPLAY_LIVE or not BENCH_REPLAY_PATH.exists():
+        return violations
+    tolerance = float(os.environ.get(GATE_TOLERANCE_ENV, "1.25"))
+    baseline = json.loads(BENCH_REPLAY_PATH.read_text()).get("corpora", {})
+    for corpus, engines in sorted(REPLAY_LIVE.items()):
+        for engine, live in sorted(engines.items()):
+            base = baseline.get(corpus, {}).get(engine)
+            if not base or not base.get("mean_call_us"):
+                continue
+            mean = live.get("mean_call_us", 0.0)
+            if mean > base["mean_call_us"] * tolerance:
+                violations.append(
+                    f"replay corpus {corpus} under {engine}: mean call "
+                    f"{mean:.1f}us vs baseline {base['mean_call_us']:.1f}us "
+                    f"(> x{tolerance})"
+                )
     return violations
 
 

@@ -148,6 +148,7 @@ class PluginHost:
                 )
             raise PluginError(f"cannot load plugin {self.name}: {exc}", "load") from exc
         self.wasm_bytes = wasm_bytes
+        self.module_sha = hashlib.sha256(wasm_bytes).hexdigest()
         # a new instance invalidates any pointer the old one handed out
         self._scratch_ptr: int | None = None
         self._scratch_cap = 0
@@ -184,7 +185,7 @@ class PluginHost:
         snapshot = PluginCheckpoint(
             plugin=self.name,
             generation=self.generation,
-            module_sha256=hashlib.sha256(self.wasm_bytes).hexdigest(),
+            module_sha256=self.module_sha,
             memory=state.memory,
             globals=state.globals,
             scratch_ptr=self._scratch_ptr,
@@ -210,7 +211,7 @@ class PluginHost:
         linear memory and mutable globals are written back - a restored
         plugin continues exactly where the snapshot left it.
         """
-        if snapshot.module_sha256 != hashlib.sha256(self.wasm_bytes).hexdigest():
+        if snapshot.module_sha256 != self.module_sha:
             raise PluginError(
                 f"{self.name}: checkpoint was taken from a different binary",
                 "load",
@@ -271,6 +272,13 @@ class PluginHost:
         obs = OBS
         enabled = obs.enabled
         tracer = obs.tracer
+        # corpus-capture mode: snapshot the pre-call state a standalone
+        # replay must reconstruct (mutable globals drive stateful plugins
+        # like rr's rotation pointer; the alloc flag decides whether this
+        # call's fuel includes the plugin's `alloc` run)
+        pre = None
+        if enabled and obs.flight.capture:
+            pre = self._capture_precall(len(input_bytes))
         budget_fuel = fuel
         fuel = self.limits.fuel
         budgeted = False
@@ -378,7 +386,7 @@ class PluginHost:
                 rt_doc["fuel"] = fuel
             self._record_telemetry(
                 obs, entry, input_bytes, output, outcome, elapsed_us,
-                fuel_used, stats, error, trap_code, injection, rt_doc,
+                fuel_used, stats, error, trap_code, injection, rt_doc, pre,
             )
         if error is not None:
             raise error
@@ -417,6 +425,59 @@ class PluginHost:
                 f"exceeds limit)", "abi",
             )
 
+    # ----- corpus capture / standalone replay support ------------------------
+
+    def _capture_precall(self, in_len: int) -> dict:
+        """The pre-call state document attached to corpus-capture records."""
+        instance = self.instance
+        assert instance is not None
+        return {
+            "globals": [
+                [index, glob.value]
+                for index, glob in enumerate(instance.globals)
+                if glob.gtype.mutable
+            ],
+            "alloc": self._scratch_ptr is None or in_len > self._scratch_cap,
+            "fuel_limit": self.limits.fuel,
+            "orb": self.output_record_bytes,
+            "max_out": self.limits.max_output_bytes,
+        }
+
+    def prime_scratch(self, length: int) -> None:
+        """Run the plugin's ``alloc`` *outside* any fuel accounting.
+
+        A recorded call that reused the persistent scratch region carries
+        no ``alloc`` cost in its fuel count; a standalone replay must
+        therefore pre-establish an equivalent scratch region before the
+        fueled call so the fuel delta reproduces bit-exactly.  No-op when
+        the scratch region already covers ``length``.
+        """
+        if self._scratch_ptr is not None and length <= self._scratch_cap:
+            return
+        instance = self.instance
+        assert instance is not None
+        saved_fuel = instance.store.fuel
+        try:
+            ptr = instance.call("alloc", length, fuel=None)
+        finally:
+            instance.store.fuel = saved_fuel
+        if ptr is None or ptr < 0:
+            raise PluginError(
+                f"{self.name}: alloc returned bad pointer {ptr}", "abi"
+            )
+        self._scratch_ptr = ptr
+        self._scratch_cap = max(self._scratch_cap, length)
+        self.scratch_allocs += 1
+
+    def reset_scratch(self) -> None:
+        """Forget the scratch region so the next call re-runs ``alloc``.
+
+        The replay harness uses this to reproduce first-of-generation (or
+        growth) calls whose recorded fuel *includes* the alloc run.
+        """
+        self._scratch_ptr = None
+        self._scratch_cap = 0
+
     def _record_telemetry(
         self,
         obs,
@@ -431,6 +492,7 @@ class PluginHost:
         trap_code: str | None,
         injection=None,
         rt_doc: dict | None = None,
+        pre: dict | None = None,
     ) -> None:
         """Registry + flight recorder + event log for one finished call."""
         reg = obs.registry
@@ -482,6 +544,9 @@ class PluginHost:
         )
         if rt_doc is not None:
             chaos_attrs["rt"] = rt_doc
+        if pre is not None:
+            chaos_attrs["pre"] = pre
+            obs.flight.register_module(self.module_sha, self.wasm_bytes)
         obs.flight.record(
             plugin=name,
             entry=entry,
@@ -493,6 +558,7 @@ class PluginHost:
             fuel_used=fuel_used,
             instructions=fuel_used,
             error=str(error) if error is not None else "",
+            module_sha=self.module_sha,
             **chaos_attrs,
         )
         if error is not None:

@@ -14,6 +14,9 @@ Usage (``python -m repro <command>``)::
     python -m repro scale --workers 4 --cells 8        # multi-process scale-out
     python -m repro fuzz --seed 0 --budget 500         # differential fuzzing
     python -m repro fuzz --replay tests/wasm/corpus    # replay the corpus
+    python -m repro record --workload chaos -o s.wrc   # capture a soak
+    python -m repro reduce s.wrc -o s.min.wrc          # shrink the corpus
+    python -m repro replay-bench s.min.wrc --engines all  # standalone bench
 """
 
 from __future__ import annotations
@@ -604,6 +607,152 @@ def _cmd_safety(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_record(args) -> int:
+    """Capture a live workload as a standalone replay corpus."""
+    from repro.replay import record_workload, reduce_corpus, save_corpus
+
+    try:
+        corpus = record_workload(
+            args.workload,
+            seed=args.seed,
+            slots=args.slots,
+            engine=args.engine,
+            rt=args.rt,
+            phase_duration_s=args.phase_duration,
+        )
+    except (ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"recorded {args.workload}: {corpus.total_calls} calls across "
+        f"{len(corpus.streams)} streams, {len(corpus.modules)} modules"
+    )
+    if args.reduce:
+        corpus, report = reduce_corpus(
+            corpus, max_per_class=args.max_per_class, engine=args.engine
+        )
+        print(report.summary())
+    out = args.output or f"{args.workload}-seed{args.seed}.wrc"
+    size = save_corpus(out, corpus)
+    print(
+        f"corpus -> {out} ({size} bytes, fidelity "
+        f"{corpus.fidelity_digest()[:16]})"
+    )
+    return 0
+
+
+def _cmd_reduce(args) -> int:
+    """Reduce a recorded corpus: dedupe, sample, verify, shrink modules."""
+    import json
+
+    from repro.replay import (
+        CorpusError,
+        load_corpus,
+        reduce_corpus,
+        save_corpus,
+    )
+
+    try:
+        corpus = load_corpus(args.corpus)
+    except CorpusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    reduced, report = reduce_corpus(
+        corpus,
+        max_per_class=args.max_per_class,
+        shrink_modules=not args.no_shrink_modules,
+        max_checks=args.max_checks,
+        engine=args.engine,
+    )
+    out = args.output or args.corpus.rsplit(".", 1)[0] + ".min.wrc"
+    size = save_corpus(out, reduced)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.summary())
+    print(
+        f"corpus -> {out} ({size} bytes, fidelity "
+        f"{reduced.fidelity_digest()[:16]})"
+    )
+    return 0
+
+
+def _cmd_replay_bench(args) -> int:
+    """Replay a corpus standalone; fail unless bit-identical to the recording."""
+    import json
+
+    from repro.replay import CorpusError, load_corpus, replay_corpus
+    from repro.wasm.threaded import ENGINES
+
+    try:
+        corpus = load_corpus(args.corpus)
+    except CorpusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    engines = (
+        list(ENGINES) if args.engines == "all" else args.engines.split(",")
+    )
+    for engine in engines:
+        if engine not in ENGINES:
+            print(
+                f"error: unknown engine {engine!r} (expected one of "
+                f"{ENGINES} or 'all')", file=sys.stderr,
+            )
+            return 1
+    doc = {
+        "schema": "waran-bench-replay/1",
+        "corpus": args.corpus,
+        "meta": corpus.meta,
+        "fidelity_digest": corpus.fidelity_digest(),
+        "engines": {},
+    }
+    ok = True
+    for engine in engines:
+        report = replay_corpus(corpus, engine=engine)
+        doc["engines"][engine] = report.to_json()
+        ok = ok and report.ok
+        print(report.summary())
+        if args.verbose or not report.ok:
+            for stream in report.streams:
+                flag = "ok" if stream.ok else "MISMATCH"
+                print(
+                    f"  [{flag}] {stream.plugin} gen={stream.generation} "
+                    f"calls={stream.calls} matched={stream.matched} "
+                    f"mean={stream.mean_us:.1f}us p99={stream.p99_us:.1f}us "
+                    f"fuel={stream.fuel_total}"
+                )
+                for mismatch in stream.mismatches[:4]:
+                    print(f"      {json.dumps(mismatch, sort_keys=True)}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+        print(f"report -> {args.json}")
+    print("fidelity: bit-identical" if ok else "fidelity: MISMATCH",
+          file=sys.stdout if ok else sys.stderr)
+    return 0 if ok else 1
+
+
+def _load_seed_modules(path: str) -> list[bytes]:
+    """Module binaries from a ``.wrc`` corpus file or a directory of them."""
+    import os
+
+    from repro.replay import load_corpus
+
+    paths = (
+        sorted(
+            os.path.join(path, name)
+            for name in os.listdir(path)
+            if name.endswith(".wrc")
+        )
+        if os.path.isdir(path)
+        else [path]
+    )
+    modules: dict[str, bytes] = {}
+    for corpus_path in paths:
+        modules.update(load_corpus(corpus_path).modules)
+    return [modules[sha] for sha in sorted(modules)]
+
+
 def _cmd_fuzz(args) -> int:
     import json
 
@@ -639,6 +788,21 @@ def _cmd_fuzz(args) -> int:
                 print(f"FAIL {problem}", file=sys.stderr)
         return 1 if problems else 0
 
+    seed_modules = None
+    if args.seed_corpus:
+        from repro.replay import CorpusError
+
+        try:
+            seed_modules = _load_seed_modules(args.seed_corpus)
+        except (CorpusError, OSError) as exc:
+            print(f"error: --seed-corpus: {exc}", file=sys.stderr)
+            return 1
+        if not seed_modules:
+            print(
+                f"error: no modules in seed corpus {args.seed_corpus}",
+                file=sys.stderr,
+            )
+            return 1
     report = run_campaign(
         args.seed,
         args.budget,
@@ -647,6 +811,7 @@ def _cmd_fuzz(args) -> int:
         time_box=args.time_box,
         corpus_dir=args.corpus_dir,
         do_shrink=not args.no_shrink,
+        seed_modules=seed_modules,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
@@ -657,7 +822,8 @@ def _cmd_fuzz(args) -> int:
         print(
             f"fuzz seed={report.seed} executed={report.executed}/"
             f"{report.budget} generated={report.generated} "
-            f"mutated={report.mutated} elapsed={report.elapsed:.2f}s"
+            f"mutated={report.mutated} seeded={report.seeded} "
+            f"elapsed={report.elapsed:.2f}s"
         )
         print(f"mutant classes: {counts or '(none)'}")
         print(f"digest: {report.digest}")
@@ -1054,9 +1220,86 @@ def main(argv: list[str] | None = None) -> int:
                    help="save failing cases without minimizing them")
     p.add_argument("--replay", metavar="PATH",
                    help="replay a corpus case file or directory and exit")
+    p.add_argument("--seed-corpus", metavar="PATH",
+                   help="bias mutations with module binaries from a replay "
+                   "corpus (.wrc file or directory of them)")
     p.add_argument("--json", action="store_true",
                    help="print the report as JSON")
     p.set_defaults(fn=_cmd_fuzz)
+
+    from repro.replay.record import RECORDABLE_WORKLOADS
+
+    p = sub.add_parser(
+        "record",
+        help="capture a live workload as a standalone replay corpus",
+        description="Runs an existing deterministic workload (chaos soak, "
+        "rt stress scenario or the Fig-5b hot-swap experiment) with the "
+        "flight recorder in corpus-capture mode and serialises every "
+        "per-plugin call stream - module bytes, ABI inputs, fuel budgets, "
+        "chaos/rt attributes - into a versioned .wrc corpus that "
+        "'repro replay-bench' can re-execute without any RAN around it.",
+    )
+    p.add_argument("--workload", choices=RECORDABLE_WORKLOADS,
+                   default="chaos")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--slots", type=int, default=None,
+                   help="override the workload's slot count")
+    p.add_argument("--engine", choices=["legacy", "threaded", "aot"],
+                   default=None)
+    p.add_argument("--rt", metavar="POLICY",
+                   help="rt dispatch policy string ('on' for defaults)")
+    p.add_argument("--phase-duration", type=float, default=0.4,
+                   metavar="SECONDS", help="fig5b phase length")
+    p.add_argument("--reduce", action="store_true",
+                   help="reduce the corpus inline before saving")
+    p.add_argument("--max-per-class", type=int, default=3,
+                   help="representatives kept per call class when reducing")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="corpus path (default <workload>-seed<N>.wrc)")
+    p.set_defaults(fn=_cmd_record)
+
+    p = sub.add_parser(
+        "reduce",
+        help="shrink a recorded replay corpus while it stays faithful",
+        description="Dedupes calls by (module, input-shape, trap/fuel "
+        "equivalence class), keeps a few representatives per class, "
+        "re-verifies each standalone (rebasing deterministic divergences), "
+        "then minimises module bodies with the fuzzer's shrinking "
+        "machinery under a bit-exact replay predicate.",
+    )
+    p.add_argument("corpus", help=".wrc corpus to reduce")
+    p.add_argument("--max-per-class", type=int, default=3,
+                   help="representatives kept per call class")
+    p.add_argument("--no-shrink-modules", action="store_true",
+                   help="skip the module-body shrinking pass")
+    p.add_argument("--max-checks", type=int, default=120,
+                   help="shrinker predicate evaluations per module")
+    p.add_argument("--engine", choices=["legacy", "threaded", "aot"],
+                   default=None, help="engine used for verification replays")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="output path (default <input>.min.wrc)")
+    p.add_argument("--json", action="store_true",
+                   help="print the reduction report as JSON")
+    p.set_defaults(fn=_cmd_reduce)
+
+    p = sub.add_parser(
+        "replay-bench",
+        help="execute a replay corpus standalone and benchmark it",
+        description="Rebuilds one plugin host per recorded call stream and "
+        "re-executes every call under the requested engines, checking "
+        "outputs, traps and fuel bit-exactly against the corpus "
+        "expectations while measuring per-call latency.  Exits non-zero "
+        "on any fidelity mismatch.",
+    )
+    p.add_argument("corpus", help=".wrc corpus to replay")
+    p.add_argument("--engines", default="threaded",
+                   help="comma-separated engine list, or 'all' "
+                   "(default: threaded)")
+    p.add_argument("--json", metavar="FILE",
+                   help="write the full waran-bench-replay/1 report here")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-stream fidelity and timing lines")
+    p.set_defaults(fn=_cmd_replay_bench)
 
     args = parser.parse_args(argv)
     try:

@@ -45,6 +45,7 @@ class FuzzReport:
     executed: int = 0
     generated: int = 0
     mutated: int = 0
+    seeded: int = 0
     class_counts: dict = field(default_factory=dict)
     failures: list = field(default_factory=list)
     digest: str = ""
@@ -61,6 +62,7 @@ class FuzzReport:
             "executed": self.executed,
             "generated": self.generated,
             "mutated": self.mutated,
+            "seeded": self.seeded,
             "class_counts": dict(sorted(self.class_counts.items())),
             "failures": [
                 {
@@ -105,6 +107,7 @@ def run_campaign(
     corpus_dir: str | None = None,
     do_shrink: bool = True,
     config: GenConfig | None = None,
+    seed_modules: list[bytes] | None = None,
 ) -> FuzzReport:
     """Run ``budget`` seeded iterations (or until ``time_box`` seconds pass).
 
@@ -113,6 +116,15 @@ def run_campaign(
     differential oracle.  Failing cases are shrunk and written as corpus
     reproducers when ``corpus_dir`` is given.  Never raises on findings —
     they land in :attr:`FuzzReport.failures`.
+
+    ``seed_modules`` (e.g. the plugin binaries of a recorded replay
+    corpus, ``repro fuzz --seed-corpus``) biases half of the mutation
+    iterations to corrupt a *real* module instead of a generated one -
+    realistic section layouts, import-heavy preambles and scheduler
+    control flow that the generator does not produce.  Determinism is
+    preserved: the pick is driven by the per-iteration RNG over the
+    caller-sorted list, and every mutant's sha still folds into the
+    campaign digest (a different seed list is a different campaign).
     """
     report = FuzzReport(seed=seed, budget=budget)
     digest = hashlib.sha256()
@@ -136,7 +148,11 @@ def run_campaign(
 
         if rng.random() < mutate_ratio:
             report.mutated += 1
-            mutant = mutate_bytes(rng, generated.wasm)
+            base = generated.wasm
+            if seed_modules and rng.random() < 0.5:
+                base = seed_modules[rng.randrange(len(seed_modules))]
+                report.seeded += 1
+            mutant = mutate_bytes(rng, base)
             mutant_sha = hashlib.sha256(mutant).hexdigest()
             try:
                 verdict = classify_bytes(mutant)

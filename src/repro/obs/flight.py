@@ -33,6 +33,9 @@ class CallRecord:
     instructions: int | None
     error: str = ""
     attrs: dict[str, Any] = field(default_factory=dict)
+    #: sha256 of the module binary that served this call (corpus key);
+    #: empty when the recording host predates corpus capture
+    module_sha: str = ""
 
     def to_json(self, max_bytes: int = 256) -> dict[str, Any]:
         """JSON-friendly form; payloads hex-encoded and truncated."""
@@ -60,17 +63,35 @@ class CallRecord:
             "fuel_used": self.fuel_used,
             "instructions": self.instructions,
             "error": self.error,
+            **({"module_sha": self.module_sha} if self.module_sha else {}),
             **({"attrs": self.attrs} if self.attrs else {}),
         }
 
 
 class FlightRecorder:
-    """Bounded ring buffer of the most recent plugin calls."""
+    """Bounded ring buffer of the most recent plugin calls.
 
-    def __init__(self, capacity: int = 256):
+    With :attr:`capture` set (corpus-capture mode, ``repro record``) the
+    recording hosts additionally attach the pre-call state a standalone
+    replay needs (mutable globals, whether the call allocated scratch,
+    host limits) and register every module binary they run into
+    :attr:`modules`, keyed by sha256 - the raw material
+    :mod:`repro.replay` serialises into a benchmark corpus.
+    """
+
+    def __init__(self, capacity: int = 256, capture: bool = False):
         self.capacity = capacity
+        #: corpus-capture mode: hosts attach replay-grade pre-call state
+        self.capture = capture
+        #: module binaries seen while capturing, keyed by sha256 hex
+        self.modules: dict[str, bytes] = {}
         self._records: deque[CallRecord] = deque(maxlen=capacity)
         self._seq = itertools.count(1)
+
+    def register_module(self, sha: str, wasm_bytes: bytes) -> None:
+        """Remember a module binary so a corpus can embed it."""
+        if sha not in self.modules:
+            self.modules[sha] = bytes(wasm_bytes)
 
     def record(
         self,
@@ -84,6 +105,7 @@ class FlightRecorder:
         fuel_used: int | None = None,
         instructions: int | None = None,
         error: str = "",
+        module_sha: str = "",
         **attrs: Any,
     ) -> CallRecord:
         rec = CallRecord(
@@ -99,6 +121,7 @@ class FlightRecorder:
             instructions=instructions,
             error=error,
             attrs=dict(attrs),
+            module_sha=module_sha,
         )
         self._records.append(rec)
         return rec
@@ -126,6 +149,7 @@ class FlightRecorder:
 
     def reset(self) -> None:
         self._records.clear()
+        self.modules.clear()
 
     def to_json(self, max_bytes: int = 256) -> list[dict[str, Any]]:
         return [rec.to_json(max_bytes=max_bytes) for rec in self._records]

@@ -1,0 +1,59 @@
+"""Record-reduce-replay benchmarks (Wasm-R3 style, PAPERS.md).
+
+The three verbs that turn a live RAN soak into a standalone, reduced
+Wasm benchmark corpus:
+
+- :mod:`repro.replay.record` - run any existing workload (chaos soak,
+  rt stress scenario, Fig-5b hot swap) with the flight recorder in
+  corpus-capture mode and serialise every plugin call stream - module
+  sha256, exact ABI input bytes, fuel budgets, chaos/rt attachments and
+  the pre-call state a standalone re-execution needs - into a
+  versioned, compressed, deterministic on-disk corpus
+  (:mod:`repro.replay.corpus`);
+- :mod:`repro.replay.reduce` - deduplicate calls by
+  (module, input-shape, outcome/fuel) equivalence class, sample
+  representatives, verify each one replays standalone, and shrink the
+  module bodies with the fuzzer's minimiser while the corpus keeps
+  reproducing its expectations;
+- :mod:`repro.replay.bench` - execute a corpus standalone (no gNB, RIC
+  or cluster) under any of the three engines, checking outputs, traps
+  and fuel bit-identically against the recording and reporting timing
+  + fuel statistics - the perf gate's *real-workload* source.
+
+``repro record`` / ``repro reduce`` / ``repro replay-bench`` drive the
+pipeline from the CLI; ``tests/replay/corpus/`` ships recorded starter
+corpora that tier-1 replays under every engine.
+"""
+
+from repro.replay.bench import ReplayBenchReport, replay_corpus
+from repro.replay.corpus import (
+    CORPUS_VERSION,
+    CorpusError,
+    ReplayCall,
+    ReplayCorpus,
+    ReplayStream,
+    dumps_corpus,
+    load_corpus,
+    loads_corpus,
+    save_corpus,
+)
+from repro.replay.record import RECORDABLE_WORKLOADS, record_workload
+from repro.replay.reduce import ReduceReport, reduce_corpus
+
+__all__ = [
+    "CORPUS_VERSION",
+    "CorpusError",
+    "ReplayCall",
+    "ReplayCorpus",
+    "ReplayStream",
+    "ReplayBenchReport",
+    "ReduceReport",
+    "RECORDABLE_WORKLOADS",
+    "dumps_corpus",
+    "loads_corpus",
+    "load_corpus",
+    "save_corpus",
+    "record_workload",
+    "reduce_corpus",
+    "replay_corpus",
+]

@@ -1,0 +1,92 @@
+"""CLI smoke tests for ``repro record`` / ``reduce`` / ``replay-bench``
+and the fuzz ``--seed-corpus`` bridge."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+STARTER = str(Path(__file__).parent / "corpus" / "rt_flash_crowd.wrc")
+STARTER_DIR = str(Path(__file__).parent / "corpus")
+
+
+class TestRecordReduceReplayBench:
+    def test_full_pipeline(self, tmp_path, capsys):
+        raw = tmp_path / "fc.wrc"
+        assert main([
+            "record", "--workload", "flash_crowd", "--slots", "40",
+            "-o", str(raw),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recorded flash_crowd" in out and "fidelity" in out
+
+        reduced = tmp_path / "fc.min.wrc"
+        assert main([
+            "reduce", str(raw), "-o", str(reduced),
+            "--max-checks", "8", "--json",
+        ]) == 0
+        out = capsys.readouterr().out
+        report = json.loads(out[: out.rindex("}") + 1])
+        assert report["ratio"] >= 1.0
+        assert reduced.exists()
+
+        bench_json = tmp_path / "bench.json"
+        assert main([
+            "replay-bench", str(reduced), "--engines", "all",
+            "--json", str(bench_json), "--verbose",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fidelity: bit-identical" in out
+        doc = json.loads(bench_json.read_text())
+        assert doc["schema"] == "waran-bench-replay/1"
+        assert set(doc["engines"]) == {"legacy", "threaded", "aot"}
+        for engine_doc in doc["engines"].values():
+            assert engine_doc["fidelity_ok"] is True
+
+    def test_record_inline_reduce(self, tmp_path, capsys):
+        out_path = tmp_path / "r.wrc"
+        assert main([
+            "record", "--workload", "flash_crowd", "--slots", "40",
+            "--reduce", "-o", str(out_path),
+        ]) == 0
+        assert "reduce:" in capsys.readouterr().out
+
+    def test_replay_bench_starter_corpus(self, capsys):
+        assert main(["replay-bench", STARTER]) == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_replay_bench_rejects_unknown_engine(self, capsys):
+        assert main(["replay-bench", STARTER, "--engines", "warp"]) == 1
+        assert "unknown engine" in capsys.readouterr().err
+
+    def test_reduce_rejects_garbage_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.wrc"
+        bad.write_bytes(b"not a corpus at all")
+        assert main(["reduce", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFuzzSeedCorpus:
+    def test_seeds_from_corpus_file(self, capsys):
+        assert main([
+            "fuzz", "--budget", "30", "--seed-corpus", STARTER,
+            "--mutate-ratio", "0.8", "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["seeded"] > 0
+        assert report["ok"] is True
+
+    def test_seeds_from_corpus_directory(self, capsys):
+        assert main([
+            "fuzz", "--budget", "20", "--seed-corpus", STARTER_DIR,
+            "--mutate-ratio", "0.8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "seeded=" in out
+
+    def test_missing_seed_corpus_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "fuzz", "--budget", "5",
+            "--seed-corpus", str(tmp_path / "absent.wrc"),
+        ]) == 1
+        assert "--seed-corpus" in capsys.readouterr().err

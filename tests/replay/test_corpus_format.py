@@ -1,0 +1,174 @@
+"""Replay corpus container format: round trips and corruption rejection.
+
+The ``.wrc`` container is magic + version + payload sha256 + length +
+zlib(canonical JSON).  These tests pin the determinism guarantee
+(loads -> dumps is byte-identical) and that every way a file can be
+broken - truncated, wrong magic, future version, flipped bits, length
+lies, internally inconsistent module hashes - fails with a clear
+:class:`CorpusError`, never a stack trace from ``zlib`` or ``json``.
+"""
+
+import hashlib
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.replay import (
+    CORPUS_VERSION,
+    CorpusError,
+    ReplayCall,
+    ReplayCorpus,
+    ReplayStream,
+    dumps_corpus,
+    load_corpus,
+    loads_corpus,
+    save_corpus,
+)
+
+
+def tiny_corpus() -> ReplayCorpus:
+    wasm = b"\x00asm\x01\x00\x00\x00"
+    sha = hashlib.sha256(wasm).hexdigest()
+    call = ReplayCall(
+        seq=1,
+        entry="schedule",
+        input_bytes=b"\x01\x02",
+        outcome="ok",
+        output_bytes=b"\x00\x00\x00\x00",
+        fuel_used=42,
+        globals_pre=[[0, 7]],
+        alloc=True,
+        chaos={"kind": "trap", "site": "plugin"},
+        rt={"fuel": 9000},
+    )
+    stream = ReplayStream(
+        plugin="rr",
+        generation=1,
+        module_sha=sha,
+        fuel_limit=200_000,
+        output_record_bytes=8,
+        max_output_bytes=1 << 16,
+        calls=[call],
+    )
+    return ReplayCorpus(
+        meta={"workload": "unit", "seed": 0},
+        modules={sha: wasm},
+        streams=[stream],
+    )
+
+
+class TestRoundTrip:
+    def test_dumps_loads_preserves_everything(self):
+        corpus = tiny_corpus()
+        back = loads_corpus(dumps_corpus(corpus))
+        assert back.meta == corpus.meta
+        assert back.modules == corpus.modules
+        assert len(back.streams) == 1
+        stream, orig = back.streams[0], corpus.streams[0]
+        assert stream.plugin == orig.plugin
+        assert stream.fuel_limit == orig.fuel_limit
+        call, expect = stream.calls[0], orig.calls[0]
+        assert call.input_bytes == expect.input_bytes
+        assert call.output_bytes == expect.output_bytes
+        assert call.fuel_used == expect.fuel_used
+        assert call.globals_pre == expect.globals_pre
+        assert call.alloc == expect.alloc
+        assert call.chaos == expect.chaos
+        assert call.rt == expect.rt
+
+    def test_reserialisation_is_byte_identical(self):
+        blob = dumps_corpus(tiny_corpus())
+        assert dumps_corpus(loads_corpus(blob)) == blob
+
+    def test_save_load_file(self, tmp_path):
+        path = tmp_path / "c.wrc"
+        size = save_corpus(path, tiny_corpus())
+        assert path.stat().st_size == size
+        assert load_corpus(path).total_calls == 1
+
+    def test_fidelity_digest_tracks_expectations(self):
+        a, b = tiny_corpus(), tiny_corpus()
+        assert a.fidelity_digest() == b.fidelity_digest()
+        b.streams[0].calls[0].fuel_used = 43
+        assert a.fidelity_digest() != b.fidelity_digest()
+
+    def test_none_output_and_fuel_survive(self):
+        corpus = tiny_corpus()
+        corpus.streams[0].calls[0].output_bytes = None
+        corpus.streams[0].calls[0].fuel_used = None
+        call = loads_corpus(dumps_corpus(corpus)).streams[0].calls[0]
+        assert call.output_bytes is None
+        assert call.fuel_used is None
+
+
+class TestRejection:
+    def test_truncated_header(self):
+        with pytest.raises(CorpusError, match="truncated"):
+            loads_corpus(b"WRC")
+
+    def test_bad_magic(self):
+        blob = bytearray(dumps_corpus(tiny_corpus()))
+        blob[:3] = b"XXX"
+        with pytest.raises(CorpusError, match="magic"):
+            loads_corpus(bytes(blob))
+
+    def test_future_version(self):
+        blob = bytearray(dumps_corpus(tiny_corpus()))
+        blob[3] = CORPUS_VERSION + 1
+        with pytest.raises(CorpusError, match="version"):
+            loads_corpus(bytes(blob))
+
+    def test_sha_mismatch(self):
+        blob = bytearray(dumps_corpus(tiny_corpus()))
+        blob[10] ^= 0xFF  # inside the header's payload-sha field
+        with pytest.raises(CorpusError, match="sha256 mismatch"):
+            loads_corpus(bytes(blob))
+
+    def test_corrupt_body(self):
+        blob = bytearray(dumps_corpus(tiny_corpus()))
+        blob[-1] ^= 0xFF
+        with pytest.raises(CorpusError, match="corrupt"):
+            loads_corpus(bytes(blob))
+
+    def test_truncated_payload(self):
+        blob = dumps_corpus(tiny_corpus())
+        with pytest.raises(CorpusError, match="corrupt|truncated"):
+            loads_corpus(blob[:-5])
+
+    def test_length_mismatch(self):
+        payload = json.dumps({"version": 1}).encode()
+        packed = zlib.compress(payload)
+        header = struct.pack(
+            ">3sB32sQ", b"WRC", CORPUS_VERSION,
+            hashlib.sha256(payload).digest(), len(payload) + 1,
+        )
+        with pytest.raises(CorpusError, match="promises"):
+            loads_corpus(header + packed)
+
+    def test_module_hash_mismatch(self):
+        corpus = tiny_corpus()
+        doc = json.loads(
+            zlib.decompress(dumps_corpus(corpus)[44:]).decode()
+        )
+        key = next(iter(doc["modules"]))
+        doc["modules"][key] = (b"\x00asm\x01\x00\x00\x00garbage").hex()
+        payload = json.dumps(doc, sort_keys=True).encode()
+        packed = zlib.compress(payload, 9)
+        blob = struct.pack(
+            ">3sB32sQ", b"WRC", CORPUS_VERSION,
+            hashlib.sha256(payload).digest(), len(payload),
+        ) + packed
+        with pytest.raises(CorpusError, match="hash"):
+            loads_corpus(blob)
+
+    def test_stream_missing_module(self):
+        corpus = tiny_corpus()
+        corpus.streams[0].module_sha = "f" * 64
+        with pytest.raises(CorpusError, match="missing module"):
+            loads_corpus(dumps_corpus(corpus))
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(CorpusError, match="cannot read"):
+            load_corpus(tmp_path / "absent.wrc")

@@ -1,0 +1,47 @@
+"""The committed starter corpora stay loadable, faithful and canonical.
+
+``tests/replay/corpus/*.wrc`` are reduced recordings of the chaos soak
+and the rt flash-crowd scenario, committed so CI (and the replay
+benchmark) can exercise the full replay path without re-recording.
+Every corpus must replay bit-identically under all three engines and
+re-serialise to the exact committed bytes.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.replay import dumps_corpus, load_corpus, replay_corpus
+from repro.wasm.threaded import ENGINES
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPORA = sorted(CORPUS_DIR.glob("*.wrc"))
+
+
+def corpus_ids():
+    return [path.stem for path in CORPORA]
+
+
+def test_starter_corpora_exist():
+    assert {path.name for path in CORPORA} >= {
+        "chaos_soak.wrc",
+        "rt_flash_crowd.wrc",
+    }
+
+
+@pytest.mark.parametrize("path", CORPORA, ids=corpus_ids())
+def test_loads_and_reserialises_byte_identically(path):
+    blob = path.read_bytes()
+    corpus = load_corpus(path)
+    assert corpus.total_calls > 0
+    assert corpus.meta.get("reduced") is True
+    assert dumps_corpus(corpus) == blob
+
+
+@pytest.mark.parametrize("path", CORPORA, ids=corpus_ids())
+@pytest.mark.parametrize("engine", ENGINES)
+def test_replays_bit_identically(path, engine):
+    corpus = load_corpus(path)
+    report = replay_corpus(corpus, engine=engine)
+    assert report.ok, [s.mismatches for s in report.streams if not s.ok]
+    assert report.total_matched == corpus.total_calls

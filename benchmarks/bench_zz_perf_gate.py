@@ -20,6 +20,7 @@ import pytest
 
 from benchmarks.conftest import (
     aot_gate_violations,
+    cluster_gate_violations,
     perf_gate_violations,
     replay_gate_violations,
     rt_gate_violations,
@@ -73,3 +74,18 @@ def test_replay_corpora_stay_faithful_and_fast(benchmark):
         replay_gate_violations, rounds=1, iterations=1
     )
     assert not violations, "replay perf gate:\n" + "\n".join(violations)
+
+
+@pytest.mark.benchmark(group="perf-gate")
+def test_cluster_scale_out_holds_its_speedup(benchmark):
+    """The shm cluster must keep its scale-out win on real cores.
+
+    Digest invariance is judged unconditionally (machine-independent);
+    the >=2x shm 1->4-worker speedup floor, the <=1.5x p99 tail ceiling
+    and the committed-baseline comparison only engage on >=4-core hosts.
+    ``WARAN_PERF_GATE[_TOLERANCE]`` applies as usual.
+    """
+    violations = benchmark.pedantic(
+        cluster_gate_violations, rounds=1, iterations=1
+    )
+    assert not violations, "cluster scale-out gate:\n" + "\n".join(violations)

@@ -309,6 +309,7 @@ def _cmd_scale(args) -> int:
         engine=args.engine,
         chaos=args.chaos,
         mode=args.mode,
+        transport=args.transport,
         timeout_s=args.timeout,
         rt=args.rt,
         scenario=args.scenario,
@@ -379,6 +380,7 @@ def _cmd_trace(args) -> int:
         seed=args.seed,
         engine=args.engine,
         mode=args.mode,
+        transport=args.transport,
         timeout_s=args.timeout,
         trace=True,
         budget_us=args.budget_us,
@@ -619,6 +621,10 @@ def _cmd_record(args) -> int:
             engine=args.engine,
             rt=args.rt,
             phase_duration_s=args.phase_duration,
+            workers=args.workers,
+            cells=args.cells,
+            ues=args.ues,
+            mode=args.cluster_mode,
         )
     except (ValueError, RuntimeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1102,6 +1108,12 @@ def main(argv: list[str] | None = None) -> int:
         help="proc = worker processes, inline = sequential in-process",
     )
     p.add_argument(
+        "--transport",
+        choices=["tcp", "shm"],
+        default="tcp",
+        help="proc-mode wire: localhost sockets or shared-memory rings",
+    )
+    p.add_argument(
         "--sweep",
         metavar="W1,W2,...",
         help="sweep worker counts (e.g. 1,2,4) and verify digest invariance",
@@ -1163,6 +1175,12 @@ def main(argv: list[str] | None = None) -> int:
         choices=["proc", "inline"],
         default="proc",
         help="proc = worker processes, inline = sequential in-process",
+    )
+    p.add_argument(
+        "--transport",
+        choices=["tcp", "shm"],
+        default="tcp",
+        help="proc-mode wire: localhost sockets or shared-memory rings",
     )
     p.add_argument(
         "--budget-us",
@@ -1233,7 +1251,8 @@ def main(argv: list[str] | None = None) -> int:
         "record",
         help="capture a live workload as a standalone replay corpus",
         description="Runs an existing deterministic workload (chaos soak, "
-        "rt stress scenario or the Fig-5b hot-swap experiment) with the "
+        "rt stress scenario, the Fig-5b hot-swap experiment or a "
+        "multi-worker cluster sweep) with the "
         "flight recorder in corpus-capture mode and serialises every "
         "per-plugin call stream - module bytes, ABI inputs, fuel budgets, "
         "chaos/rt attributes - into a versioned .wrc corpus that "
@@ -1250,6 +1269,15 @@ def main(argv: list[str] | None = None) -> int:
                    help="rt dispatch policy string ('on' for defaults)")
     p.add_argument("--phase-duration", type=float, default=0.4,
                    metavar="SECONDS", help="fig5b phase length")
+    p.add_argument("--workers", type=int, default=2,
+                   help="cluster workload: worker count")
+    p.add_argument("--cells", type=int, default=4,
+                   help="cluster workload: cell count")
+    p.add_argument("--ues", type=int, default=8,
+                   help="cluster workload: total UE population")
+    p.add_argument("--cluster-mode", choices=["inline", "proc"],
+                   default="inline",
+                   help="cluster workload: worker execution mode")
     p.add_argument("--reduce", action="store_true",
                    help="reduce the corpus inline before saving")
     p.add_argument("--max-per-class", type=int, default=3,

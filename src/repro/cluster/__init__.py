@@ -2,8 +2,9 @@
 
 One near-RT RIC, many gNB shards: a :class:`ClusterCoordinator` spawns N
 shared-nothing :mod:`cell workers <repro.cluster.worker>` - separate
-processes talking TCP loopback, or inline for deterministic
-single-process runs - each hosting a subset of the cells with its own
+processes talking TCP loopback or shared-memory rings
+(``transport="shm"``), or inline for deterministic single-process runs -
+each hosting a subset of the cells with its own
 Wasm plugins, threaded engine and (optional) chaos schedule.  Workers
 coalesce per-slot KPM indications into a **batched E2 uplink** with a
 bounded queue and explicit backpressure counters; the coordinator
@@ -27,7 +28,7 @@ from repro.cluster.coordinator import (
     WorkerFailed,
     run_cluster,
 )
-from repro.cluster.loadgen import run_sweep, sweep_specs
+from repro.cluster.loadgen import metro_spec, run_sweep, sweep_specs
 from repro.cluster.shard import CellShard, build_cell
 from repro.cluster.spec import ClusterSpec, cell_name, stable_seed
 from repro.cluster.worker import run_worker
@@ -41,6 +42,7 @@ __all__ = [
     "WorkerFailed",
     "build_cell",
     "cell_name",
+    "metro_spec",
     "run_cluster",
     "run_sweep",
     "run_worker",

@@ -19,6 +19,7 @@ per-cell results independent of worker interleaving.  See
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -29,7 +30,13 @@ from repro.cluster.worker import _worker_entry, run_worker, unpack_control
 from repro.e2 import vendors
 from repro.e2.batch import E2BatchError, iter_batch_frame
 from repro.e2.comm import CommChannel
-from repro.netio.batching import BatchError, batch_trace, is_batch
+from repro.netio.batching import (
+    BatchError,
+    batch_spans,
+    batch_trace,
+    is_batch,
+    range_info,
+)
 from repro.netio.bus import InProcNetwork, TcpNetwork
 from repro.obs.attribution import attribute_slots
 from repro.obs.merge import DEFAULT_GAUGE_MODES, merge_snapshots
@@ -92,6 +99,9 @@ class ClusterReport:
     trace_digest: str = ""
     attribution: dict[str, Any] = field(default_factory=dict)
     deadline_misses: list[dict] = field(default_factory=list)
+    #: with ``spec.capture``: one wire-form flight capture per worker
+    #: (worker-id order) for :func:`repro.replay.record.flight_from_wire`
+    flights: list[dict] = field(default_factory=list, repr=False)
 
     @property
     def bytes_digest(self) -> str:
@@ -175,6 +185,10 @@ class ClusterCoordinator:
         self._frames_ingested = 0
         self._messages_ingested = 0
         self._ingest_failures = 0
+        #: last slot each worker's WBR3 range headers reported complete
+        self._progress: dict[int, int] = {}
+        #: span docs streamed home inside WBR3 frames, per worker
+        self._streamed: dict[int, list[dict]] = {}
         #: the reserved root trace context every worker parents under
         self._root_ctx: TraceContext | None = None
 
@@ -204,12 +218,29 @@ class ClusterCoordinator:
 
         The ingest span parents under the *producing worker slot's* trace
         context carried in the frame header, so the coordinator's demux
-        work appears inside that slot's cross-process span tree.
+        work appears inside that slot's cross-process span tree.  A
+        ``WBR3`` range header additionally updates the worker's progress
+        watermark (its heartbeat) and collects any streamed span docs.
         """
         self._frames_ingested += 1
+        info = range_info(data)
+        if info is not None:
+            prev = self._progress.get(info.worker, -1)
+            if info.slot_hi >= info.slot_lo and info.slot_hi > prev:
+                self._progress[info.worker] = info.slot_hi
+            if self.spec.trace and info.spans_len:
+                try:
+                    self._streamed.setdefault(info.worker, []).extend(
+                        batch_spans(data)
+                    )
+                except (BatchError, ValueError):
+                    self._ingest_failures += 1
         messages = 0
+        # span-blob bytes stay out of the attr: the blob compresses float
+        # timings, so its length would wobble the structural trace digest
+        demux_bytes = len(data) - (info.spans_len if info else 0)
         with obs.OBS.tracer.span(
-            "coord.ingest", parent=batch_trace(data), bytes=len(data)
+            "coord.ingest", parent=batch_trace(data), bytes=demux_bytes
         ) as span:
             try:
                 for node, payload in iter_batch_frame(data):
@@ -279,14 +310,28 @@ class ClusterCoordinator:
         return snapshots
 
     def _run_proc(self) -> list[dict]:
-        """Workers run as real processes; frames stream in as they arrive."""
+        """Workers run as real processes; frames stream in as they arrive.
+
+        ``spec.transport`` picks the wire: localhost TCP, or
+        shared-memory rings (workers join the coordinator's shm session
+        by key, the way they'd join a TCP network by port).
+        """
         import multiprocessing as mp
 
         ctx = mp.get_context("spawn")
         parent_doc = self._root_ctx.to_json() if self._root_ctx else None
-        with TcpNetwork() as net:
+        if self.spec.transport == "shm":
+            from repro.netio.shm import ShmNetwork
+
+            net = ShmNetwork()
+            conninfo: tuple[str, Any] = ("shm", net.session)
+        else:
+            net = TcpNetwork()
+            conninfo = ("tcp", 0)
+        with net:
             coord_endpoint = net.endpoint(COORD)
-            port = coord_endpoint.port  # type: ignore[attr-defined]
+            if conninfo[0] == "tcp":
+                conninfo = ("tcp", coord_endpoint.port)  # type: ignore[attr-defined]
             self._build_ric()
             with obs.OBS.tracer.span(
                 "coord.spawn", workers=self.spec.workers
@@ -296,7 +341,12 @@ class ClusterCoordinator:
                 procs = {
                     worker_id: ctx.Process(
                         target=_worker_entry,
-                        args=(self.spec.to_json(), worker_id, port, parent_doc),
+                        args=(
+                            self.spec.to_json(),
+                            worker_id,
+                            conninfo,
+                            parent_doc,
+                        ),
                         daemon=True,
                     )
                     for worker_id in range(self.spec.workers)
@@ -315,16 +365,41 @@ class ClusterCoordinator:
         return [self._results[k]["metrics"] for k in sorted(self._results)]
 
     def _pump(self, endpoint, procs) -> None:
-        now = time.monotonic()
-        deadline = now + self.spec.timeout_s
+        """Overlap uplink ingestion with worker compute and monitoring.
+
+        A dedicated drain thread consumes the coordinator endpoint -
+        demultiplexing uplink frames into the RIC fabric and stepping the
+        RIC whenever the wire goes momentarily quiet - while this thread
+        watches process exit codes, per-worker liveness, and the overall
+        deadline.  Worker compute therefore never waits on coordinator
+        ingestion (and vice versa); the two only meet at the bounded
+        transport.  Shared state is GIL-atomic (dict/set item ops), and
+        worker failures found by either thread surface here.
+        """
+        start = time.monotonic()
+        deadline = start + self.spec.timeout_s
         liveness = self.spec.liveness_timeout_s or None
         pending = set(procs)
-        progress = {w: -1 for w in procs}  # last slot each worker reported
-        last_seen = {w: now for w in procs}
+        for worker_id in procs:
+            self._progress.setdefault(worker_id, -1)
+        last_seen = {w: start for w in procs}
         dead_since: dict[int, float] = {}
-        while pending:
-            item = endpoint.recv(timeout=0.2)
-            if item is not None:
+        stop = threading.Event()
+        failure: list[ClusterError] = []
+
+        def drain_loop() -> None:
+            dirty = False
+            while True:
+                item = endpoint.recv(timeout=0.05)
+                if item is None:
+                    if dirty:
+                        # batch RIC dispatch per drain burst instead of
+                        # per frame: ingest stays ahead of the wire
+                        self.ric.step()
+                        dirty = False
+                    if stop.is_set():
+                        return
+                    continue
                 source, data = item
                 if source.startswith("worker"):
                     try:
@@ -333,7 +408,7 @@ class ClusterCoordinator:
                         pass
                 if is_batch(data):
                     self._ingest_frame(data)
-                    self.ric.step()
+                    dirty = True
                     continue
                 with obs.OBS.tracer.span(
                     "coord.result.decode", bytes=len(data)
@@ -345,45 +420,65 @@ class ClusterCoordinator:
                     self._results[int(doc["worker"])] = doc
                     pending.discard(int(doc["worker"]))
                 elif doc.get("t") == "progress":
-                    progress[int(doc["worker"])] = int(doc["slot"])
+                    worker = int(doc["worker"])
+                    slot = int(doc["slot"])
+                    if slot > self._progress.get(worker, -1):
+                        self._progress[worker] = slot
                 elif doc.get("t") == "error":
                     worker = int(doc.get("worker", -1))
-                    raise WorkerFailed(
-                        worker, progress.get(worker, -1), str(doc.get("detail"))
+                    failure.append(
+                        WorkerFailed(
+                            worker,
+                            self._progress.get(worker, -1),
+                            str(doc.get("detail")),
+                        )
                     )
-                continue
-            now = time.monotonic()
-            for worker_id in sorted(pending):
-                proc = procs[worker_id]
-                if proc.exitcode is not None:
-                    if proc.exitcode != 0:
+                    return
+
+        drain = threading.Thread(
+            target=drain_loop, name="coord-drain", daemon=True
+        )
+        drain.start()
+        try:
+            while pending and not failure:
+                time.sleep(0.05)
+                now = time.monotonic()
+                for worker_id in sorted(pending.copy()):
+                    proc = procs[worker_id]
+                    if proc.exitcode is not None:
+                        if proc.exitcode != 0:
+                            raise WorkerFailed(
+                                worker_id,
+                                self._progress[worker_id],
+                                f"exited with code {proc.exitcode} "
+                                "before reporting",
+                            )
+                        # clean exit without a result frame: allow a short
+                        # grace for in-flight frames to drain, then fail
+                        died = dead_since.setdefault(worker_id, now)
+                        if now - died > 2.0 and worker_id in pending:
+                            raise WorkerFailed(
+                                worker_id,
+                                self._progress[worker_id],
+                                "exited cleanly without reporting a result",
+                            )
+                    elif liveness and now - last_seen[worker_id] > liveness:
                         raise WorkerFailed(
                             worker_id,
-                            progress[worker_id],
-                            f"exited with code {proc.exitcode} "
-                            "before reporting",
+                            self._progress[worker_id],
+                            f"no frame or heartbeat for {liveness:.0f}s "
+                            "(liveness_timeout_s)",
                         )
-                    # clean exit without a result frame: allow a short
-                    # grace for in-flight frames to drain, then fail fast
-                    died = dead_since.setdefault(worker_id, now)
-                    if now - died > 2.0:
-                        raise WorkerFailed(
-                            worker_id,
-                            progress[worker_id],
-                            "exited cleanly without reporting a result",
-                        )
-                elif liveness and now - last_seen[worker_id] > liveness:
-                    raise WorkerFailed(
-                        worker_id,
-                        progress[worker_id],
-                        f"no frame or heartbeat for {liveness:.0f}s "
-                        "(liveness_timeout_s)",
+                if now > deadline:
+                    raise ClusterError(
+                        f"workers {sorted(pending)} did not report within "
+                        f"{self.spec.timeout_s:.0f}s"
                     )
-            if now > deadline:
-                raise ClusterError(
-                    f"workers {sorted(pending)} did not report within "
-                    f"{self.spec.timeout_s:.0f}s"
-                )
+        finally:
+            stop.set()
+            drain.join(timeout=10)
+        if failure:
+            raise failure[0]
 
     def _drain_ric(self) -> None:
         """Dispatch everything queued at the RIC until it goes quiet."""
@@ -478,6 +573,10 @@ class ClusterCoordinator:
             snapshots + [registry.to_json()],
             gauge_modes=DEFAULT_GAUGE_MODES,
         )
+        if spec.capture:
+            report.flights = [
+                r["flight"] for r in results if r.get("flight") is not None
+            ]
         if spec.trace and self._root_ctx is not None:
             self._stitch_trace(report, results, wall)
         return report
@@ -513,11 +612,12 @@ class ClusterCoordinator:
         )
         collections = [("coord", coord_spans)]
         for r in results:
+            worker = int(r["worker"])
+            # spans streamed home in WBR3 range frames, then whatever was
+            # still unfinished when the worker built its result
+            spans = self._streamed.get(worker, []) + r.get("spans", [])
             collections.append(
-                (
-                    r.get("service", f"worker{r['worker']}"),
-                    r.get("spans", []),
-                )
+                (r.get("service", f"worker{worker}"), spans)
             )
             report.deadline_misses.extend(r.get("events", []))
         report.spans = merge_span_collections(collections)

@@ -17,6 +17,36 @@ from repro.cluster.coordinator import ClusterError, ClusterReport, run_cluster
 from repro.cluster.spec import ClusterSpec
 
 
+#: the metro deployment target: one worker pool scheduling a city's
+#: worth of cells.  The scale-out roadmap grows sweeps toward this.
+METRO_CELLS = 64
+METRO_UES = 256
+
+
+def metro_spec(
+    workers: int = 4,
+    slots: int = 200,
+    transport: str = "shm",
+    mode: str = "proc",
+) -> ClusterSpec:
+    """The 64-cell "metro" spec: the largest supported deployment shape.
+
+    Defaults to shared-memory transport - at this cell count the uplink
+    frame rate is what separates the backends - with a generous deadline
+    so CI-class machines finish.  Digest invariance applies unchanged:
+    a metro run at any worker count must agree with ``workers=1``.
+    """
+    return ClusterSpec(
+        workers=workers,
+        cells=METRO_CELLS,
+        ues=METRO_UES,
+        slots=slots,
+        mode=mode,
+        transport=transport,
+        timeout_s=1800.0,
+    )
+
+
 def sweep_specs(
     base: ClusterSpec,
     workers: Sequence[int] = (1, 2, 4),

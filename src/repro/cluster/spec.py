@@ -76,6 +76,13 @@ class ClusterSpec:
     #: the coordinator raises :class:`WorkerFailed` (0 = only the overall
     #: ``timeout_s`` applies).  Workers heartbeat at the flush cadence.
     liveness_timeout_s: float = 0.0
+    #: proc-mode wire: "tcp" (localhost sockets) or "shm" (shared-memory
+    #: rings, :class:`repro.netio.shm.ShmNetwork`); inline mode ignores it
+    transport: str = "tcp"
+    #: corpus capture: each worker swaps in a capture-mode flight
+    #: recorder and ships its full call stream home in the result frame
+    #: (``repro record`` merges them per worker into one replay corpus)
+    capture: bool = False
 
     def validate(self) -> None:
         if self.workers < 1:
@@ -88,6 +95,8 @@ class ClusterSpec:
             raise ValueError("kpm_period and flush_every must be positive")
         if self.mode not in ("proc", "inline"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.transport not in ("tcp", "shm"):
+            raise ValueError(f"unknown transport {self.transport!r}")
         if self.budget_us < 0:
             raise ValueError("budget_us must be non-negative")
         if self.liveness_timeout_s < 0:

@@ -1,20 +1,28 @@
 """The cell worker: one shard of the cluster, one process (or inline).
 
 A worker derives its shard from ``(spec, worker_id)``, steps every hosted
-cell slot-synchronously, coalesces all cells' KPM indications into the
-shared batched uplink (flushed every ``spec.flush_every`` slots), and
-finally ships one ``result`` control frame to the coordinator carrying:
+cell slot-synchronously, and coalesces all cells' KPM indications into
+the shared batched uplink.  Every ``spec.flush_every`` slots it emits one
+``WBR3`` slot-range frame (see :mod:`repro.netio.batching`) carrying the
+range's E2 entries, the ``[slot_lo, slot_hi]`` progress header that
+doubles as the liveness heartbeat, and - when tracing - the span
+documents finished during the range (drained from the tracer, so traces
+stream home incrementally).  Finally it ships one ``result`` control
+frame to the coordinator carrying:
 
 - per-cell scheduled-bytes totals and deterministic fault logs,
 - its process-wide metrics-registry snapshot (merged by the coordinator
   via :func:`repro.obs.merge.merge_snapshots`),
 - uplink/backpressure counters (also exported as ``waran_cluster_*``
   metrics inside the snapshot),
-- with ``spec.trace``: its **span collection** and trace context, so the
-  coordinator can stitch one cross-process trace
-  (:mod:`repro.obs.traceexport`) - every slot becomes a ``worker.slot``
-  span (children: ``gnb.step``, ``e2.encode``, ``uplink.flush``,
-  ``net.send``, ...) parented under the coordinator's reserved root.
+- with ``spec.trace``: the spans still open at the end (the streamed
+  ranges carry the rest) and its trace context, so the coordinator can
+  stitch one cross-process trace (:mod:`repro.obs.traceexport`) - every
+  slot becomes a ``worker.slot`` span (children: ``gnb.step``,
+  ``e2.encode``, ``uplink.flush``, ``net.send``, ...) parented under the
+  coordinator's reserved root,
+- with ``spec.capture``: the full-fidelity flight-recorder call stream
+  (``repro record`` merges the per-worker streams into one corpus).
 
 With a ``spec.budget_us`` latency budget, slots that overrun it emit a
 live ``trace.deadline_miss`` event naming the *guilty segment* - the
@@ -45,7 +53,7 @@ from repro.cluster.shard import (
 )
 from repro.cluster.spec import COORD, ClusterSpec
 from repro.e2 import vendors
-from repro.netio.batching import BatchSender
+from repro.netio.batching import BatchSender, encode_span_blob
 from repro.netio.bus import Endpoint
 from repro.obs.tracing import TraceContext
 
@@ -102,10 +110,43 @@ def run_worker(
     sender = BatchSender(
         endpoint, COORD, max_queue=spec.queue_limit, max_batch=spec.max_batch
     )
-    cells: list[CellShard] = [
-        build_cell(spec, g, sender, profile, schedule)
-        for g in spec.cells_for_worker(worker_id)
-    ]
+    prev_flight = None
+    if spec.capture:
+        # corpus capture: swap in a capture-mode recorder *before* the
+        # cells load their plugins, so module binaries get registered
+        from repro.obs.flight import FlightRecorder
+
+        shard_cells = len(spec.cells_for_worker(worker_id))
+        prev_flight = obs.OBS.flight
+        obs.OBS.flight = FlightRecorder(
+            capacity=spec.slots * 24 * max(1, shard_cells) + 4096,
+            capture=True,
+        )
+    try:
+        return _run_worker_body(
+            spec, worker_id, endpoint, trace_parent, sender, cells=[
+                build_cell(spec, g, sender, profile, schedule)
+                for g in spec.cells_for_worker(worker_id)
+            ], engine=engine, schedule=schedule, tracer=tracer,
+            service=service,
+        )
+    finally:
+        if prev_flight is not None:
+            obs.OBS.flight = prev_flight
+
+
+def _run_worker_body(
+    spec: ClusterSpec,
+    worker_id: int,
+    endpoint: Endpoint,
+    trace_parent: TraceContext | None,
+    sender: BatchSender,
+    cells: list[CellShard],
+    engine: str,
+    schedule,
+    tracer,
+    service: str,
+) -> dict[str, Any]:
     if spec.trace:
         tracer.resize(_span_capacity(spec, len(cells)))
 
@@ -147,6 +188,7 @@ def run_worker(
     )
 
     t0 = time.perf_counter()
+    range_start = 0
     with tracer.span(
         "worker.run", parent=trace_parent, worker=worker_id, cells=len(cells)
     ) as run_span:
@@ -165,15 +207,21 @@ def run_worker(
                         step_operator_loop(cell, slot, spec.release_after)
                 slot_hist.observe((time.perf_counter() - s0) * 1e6, worker=label)
                 if (slot + 1) % spec.flush_every == 0:
-                    sender.flush()
-                    # liveness heartbeat: lets the coordinator name the
-                    # last completed slot when a worker later goes dark
-                    endpoint.send(
-                        COORD,
-                        pack_control(
-                            {"t": "progress", "worker": worker_id, "slot": slot}
-                        ),
+                    # one WBR3 frame per slot range: E2 entries, the
+                    # progress heartbeat (its header names the range even
+                    # when no entries queued), and the spans finished so
+                    # far - no separate per-flush control message
+                    blob = (
+                        encode_span_blob(tracer.drain_finished())
+                        if spec.trace
+                        else b""
                     )
+                    sender.flush(
+                        slot_range=(range_start, slot),
+                        worker=worker_id,
+                        spans_blob=blob,
+                    )
+                    range_start = slot + 1
             if budget and slot_span is not obs.NULL_SPAN:
                 elapsed = slot_span.elapsed_us
                 if elapsed > budget:
@@ -189,7 +237,16 @@ def run_worker(
                         guilty_us=round(guilty_us, 1),
                     )
         with tracer.span("uplink.flush.final"):
-            sender.flush()
+            blob = (
+                encode_span_blob(tracer.drain_finished())
+                if spec.trace
+                else b""
+            )
+            sender.flush(
+                slot_range=(range_start, spec.slots - 1),
+                worker=worker_id,
+                spans_blob=blob,
+            )
     run_seconds = time.perf_counter() - t0
 
     for cell in cells:
@@ -231,28 +288,55 @@ def run_worker(
     }
     if spec.trace:
         result["service"] = service
+        # only the spans finished after the last drain - the slot ranges
+        # streamed the rest home already
         result["spans"] = tracer.to_json()
         result["events"] = [
             e.to_json() for e in obs.OBS.events.events("trace.deadline_miss")
         ]
         if run_ctx is not None:
             result["trace"] = run_ctx.to_json()
+    if spec.capture:
+        from repro.replay.record import flight_to_wire
+
+        recorder = obs.OBS.flight
+        records = recorder.records()
+        if records and records[0].seq != 1:
+            raise RuntimeError(
+                f"worker {worker_id} flight recorder overflowed while "
+                "capturing; shorten the run"
+            )
+        result["flight"] = flight_to_wire(recorder)
     return result
 
 
 def _worker_entry(
     spec_doc: dict,
     worker_id: int,
-    coord_port: int,
+    conninfo: tuple[str, Any],
     trace_parent: dict | None = None,
 ) -> None:
-    """Process entry point: connect back to the coordinator and run."""
-    from repro.netio.bus import TcpNetwork
+    """Process entry point: connect back to the coordinator and run.
 
+    ``conninfo`` selects the wire: ``("tcp", port)`` joins the
+    coordinator's TCP network via its port, ``("shm", session)`` joins
+    its shared-memory session (the session key plays the role the port
+    plays for TCP).
+    """
     spec = ClusterSpec.from_json(spec_doc)
     parent = TraceContext.from_json(trace_parent)
-    with TcpNetwork() as net:
-        net.register_peer(COORD, coord_port)
+    transport, key = conninfo
+    if transport == "shm":
+        from repro.netio.shm import ShmNetwork
+
+        net = ShmNetwork(session=key)
+    else:
+        from repro.netio.bus import TcpNetwork
+
+        net = TcpNetwork()
+    with net:
+        if transport != "shm":
+            net.register_peer(COORD, key)
         endpoint = net.endpoint(f"worker{worker_id}")
         endpoint.send(
             COORD, pack_control({"t": "hello", "worker": worker_id})

@@ -1,39 +1,58 @@
 """Message transport for RIC <-> E2-node communication.
 
 §4B of the paper lets operators pick the wire technology (ZeroMQ, Kafka,
-raw SCTP...).  This package provides two interchangeable transports behind
-one endpoint interface so communication plugins can wrap either:
+raw SCTP...).  This package provides three interchangeable transports
+behind one endpoint interface so communication plugins can wrap any of
+them:
 
 - :class:`InProcNetwork` - zero-copy in-process queues (the default for
   simulations and tests);
 - :class:`TcpNetwork` - real localhost TCP sockets with length-prefixed
-  framing, for runs that want actual bytes on a wire.
+  framing, for runs that want actual bytes on a wire;
+- :class:`ShmNetwork` - shared-memory SPSC ring buffers
+  (:mod:`multiprocessing.shared_memory`), for multi-process runs where
+  the transport must stay off the critical path.
 
-Both deliver ``(source, payload: bytes)`` datagram-style messages between
+All deliver ``(source, payload: bytes)`` datagram-style messages between
 named endpoints.
 """
 
 from repro.netio.batching import (
     BatchError,
     BatchSender,
+    RangeInfo,
+    batch_spans,
+    batch_trace,
     is_batch,
+    is_traced_batch,
     pack_batch,
+    pack_range_batch,
+    range_info,
     unpack_batch,
 )
 from repro.netio.bus import Endpoint, InProcNetwork, NetworkError, TcpNetwork
 from repro.netio.framing import FrameError, read_frame, write_frame
+from repro.netio.shm import ShmNetwork, ShmRing
 
 __all__ = [
     "Endpoint",
     "InProcNetwork",
     "TcpNetwork",
+    "ShmNetwork",
+    "ShmRing",
     "NetworkError",
     "read_frame",
     "write_frame",
     "FrameError",
     "BatchError",
     "BatchSender",
+    "RangeInfo",
     "is_batch",
+    "is_traced_batch",
+    "batch_trace",
+    "batch_spans",
     "pack_batch",
+    "pack_range_batch",
+    "range_info",
     "unpack_batch",
 ]

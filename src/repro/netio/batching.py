@@ -3,11 +3,16 @@
 The cluster's E2 uplink coalesces many per-slot indications into one
 transport frame instead of paying per-message framing and syscall costs.
 The wire format is transport-agnostic (it rides *inside* the existing
-length-prefixed frame of :mod:`repro.netio.framing`).  Two header
+length-prefixed frame of :mod:`repro.netio.framing`).  Three header
 variants share the format::
 
     u32 magic 'WBAT' | u32 count | count * (u32 len | payload)
     u32 magic 'WBT2' | u32 count | u64 trace_id | u64 span_id | entries...
+    u32 magic 'WBR3' | u32 count | u32 slot_lo | u32 slot_hi | u32 worker
+                     | u32 flags | u32 spans_len
+                     | [16B trace ctx when flags&1]
+                     | [spans_len bytes of zlib'd span JSON]
+                     | entries...
 
 ``WBT2`` is the distributed-tracing variant: the 16-byte
 :class:`~repro.obs.tracing.TraceContext` of the span that *flushed* the
@@ -16,6 +21,16 @@ receiver can parent its ingest span under the producing slot - that is
 how a coordinator's demultiplex work shows up inside the worker slot's
 span tree.  Receivers accept both variants; senders emit ``WBT2`` only
 when tracing is live, so untraced runs stay byte-identical to before.
+
+``WBR3`` is the slot-range variant the cluster uses: instead of per-slot
+lockstep control messages, one frame carries everything a worker
+produced for a contiguous slot range - the E2 entries, the producing
+worker id and ``[slot_lo, slot_hi]`` (doubling as the liveness/progress
+heartbeat, so a frame with ``count == 0`` is still meaningful), and
+optionally the span documents finished during the range (drained from
+the worker tracer so traces stream home instead of riding the final
+result message).  ``flags`` bit0 mirrors the WBT2 convention: the trace
+context is present and the E2 entries use the traced (v2) layout.
 
 Backpressure is explicit, not implicit: :class:`BatchSender` owns a
 *bounded* queue.  When the queue is full, :meth:`BatchSender.offer`
@@ -30,8 +45,11 @@ latency-attribution report breaks the slot budget into.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import struct
 import time
+import zlib
 
 from repro.netio.bus import Endpoint
 from repro.netio.framing import MAX_FRAME
@@ -40,9 +58,13 @@ from repro.obs.tracing import TraceContext
 
 BATCH_MAGIC = 0x54414257  # 'WBAT' little-endian
 BATCH_MAGIC_TRACED = 0x32544257  # 'WBT2' little-endian
+RANGE_MAGIC = 0x33524257  # 'WBR3' little-endian
 
 _HEADER = struct.Struct("<II")
+_RANGE_HEADER = struct.Struct("<IIIIIII")  # magic count lo hi worker flags spans
 _ENTRY_LEN = struct.Struct("<I")
+
+_RANGE_FLAG_TRACED = 0x1
 
 #: room the outer frame header needs inside MAX_FRAME
 _FRAME_SLACK = 1024
@@ -52,16 +74,44 @@ class BatchError(ValueError):
     """Malformed batch payload."""
 
 
+@dataclasses.dataclass(frozen=True)
+class RangeInfo:
+    """Decoded ``WBR3`` header: which worker covered which slots."""
+
+    count: int
+    slot_lo: int
+    slot_hi: int
+    worker: int
+    traced: bool
+    spans_len: int
+
+
 def is_batch(data: bytes) -> bool:
-    """True iff ``data`` starts with either batch magic."""
+    """True iff ``data`` starts with any batch magic."""
     if len(data) < 8:
         return False
     magic = _HEADER.unpack_from(data, 0)[0]
-    return magic in (BATCH_MAGIC, BATCH_MAGIC_TRACED)
+    return magic in (BATCH_MAGIC, BATCH_MAGIC_TRACED, RANGE_MAGIC)
+
+
+def _range_header(data: bytes) -> RangeInfo:
+    if len(data) < _RANGE_HEADER.size:
+        raise BatchError("short range batch frame")
+    _, count, lo, hi, worker, flags, spans_len = _RANGE_HEADER.unpack_from(
+        data, 0
+    )
+    return RangeInfo(
+        count=count,
+        slot_lo=lo,
+        slot_hi=hi,
+        worker=worker,
+        traced=bool(flags & _RANGE_FLAG_TRACED),
+        spans_len=spans_len,
+    )
 
 
 def _entries_offset(data: bytes) -> tuple[int, int]:
-    """``(count, offset-of-first-entry)`` for either header variant."""
+    """``(count, offset-of-first-entry)`` for any header variant."""
     if len(data) < 8:
         raise BatchError("short batch frame")
     magic, count = _HEADER.unpack_from(data, 0)
@@ -71,6 +121,15 @@ def _entries_offset(data: bytes) -> tuple[int, int]:
         if len(data) < 8 + TraceContext.WIRE_LEN:
             raise BatchError("traced batch frame missing context")
         return count, 8 + TraceContext.WIRE_LEN
+    if magic == RANGE_MAGIC:
+        info = _range_header(data)
+        offset = _RANGE_HEADER.size
+        if info.traced:
+            offset += TraceContext.WIRE_LEN
+        offset += info.spans_len
+        if len(data) < offset:
+            raise BatchError("range batch header overruns frame")
+        return count, offset
     raise BatchError(f"bad batch magic 0x{magic:08x}")
 
 
@@ -97,18 +156,105 @@ def pack_batch(
     return b"".join(parts)
 
 
+def pack_range_batch(
+    payloads: list[bytes],
+    slot_lo: int,
+    slot_hi: int,
+    worker: int,
+    ctx: TraceContext | None = None,
+    traced: bool = False,
+    spans_blob: bytes = b"",
+) -> bytes:
+    """Coalesce a slot range's payloads (and span blob) into one frame.
+
+    ``traced`` (or a concrete ``ctx``) sets flags bit0, meaning the
+    trace context is present *and* the entries use the traced (v2)
+    layout - the magic+flags stay authoritative for receivers, exactly
+    like the WBAT/WBT2 split.  An empty ``payloads`` list is legal: the
+    frame still carries the range header, serving as the worker's
+    progress heartbeat.
+    """
+    if spans_blob and len(spans_blob) > MAX_FRAME // 2:
+        raise BatchError(f"span blob too large: {len(spans_blob)}")
+    is_traced = traced or ctx is not None
+    flags = _RANGE_FLAG_TRACED if is_traced else 0
+    parts = [
+        _RANGE_HEADER.pack(
+            RANGE_MAGIC, len(payloads), slot_lo, slot_hi, worker, flags,
+            len(spans_blob),
+        )
+    ]
+    if is_traced:
+        parts.append(
+            ctx.pack() if ctx is not None else b"\x00" * TraceContext.WIRE_LEN
+        )
+    if spans_blob:
+        parts.append(spans_blob)
+    for payload in payloads:
+        parts.append(_ENTRY_LEN.pack(len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def range_info(data: bytes) -> RangeInfo | None:
+    """Decoded range header when ``data`` is a ``WBR3`` frame, else None."""
+    if len(data) >= 8 and _HEADER.unpack_from(data, 0)[0] == RANGE_MAGIC:
+        return _range_header(data)
+    return None
+
+
+def encode_span_blob(spans: list[dict]) -> bytes:
+    """Compress span export docs for the WBR3 spans field."""
+    if not spans:
+        return b""
+    return zlib.compress(
+        json.dumps(spans, separators=(",", ":"), sort_keys=True).encode(
+            "utf-8"
+        )
+    )
+
+
+def batch_spans(data: bytes) -> list[dict]:
+    """Span docs streamed inside a ``WBR3`` frame (empty for other frames)."""
+    info = range_info(data)
+    if info is None or info.spans_len == 0:
+        return []
+    offset = _RANGE_HEADER.size + (
+        TraceContext.WIRE_LEN if info.traced else 0
+    )
+    blob = data[offset : offset + info.spans_len]
+    if len(blob) != info.spans_len:
+        raise BatchError("span blob overruns frame")
+    return json.loads(zlib.decompress(blob).decode("utf-8"))
+
+
 def is_traced_batch(data: bytes) -> bool:
-    """True iff ``data`` is a ``WBT2`` frame (its entries use traced layouts)."""
-    return len(data) >= 8 and _HEADER.unpack_from(data, 0)[0] == BATCH_MAGIC_TRACED
+    """True iff the frame's entries use the traced (v2) layouts."""
+    if len(data) < 8:
+        return False
+    magic = _HEADER.unpack_from(data, 0)[0]
+    if magic == BATCH_MAGIC_TRACED:
+        return True
+    if magic == RANGE_MAGIC:
+        return _range_header(data).traced
+    return False
 
 
 def batch_trace(data: bytes) -> TraceContext | None:
-    """The producing span's context carried by a ``WBT2`` frame, if any."""
-    if len(data) >= 8 + TraceContext.WIRE_LEN:
-        if _HEADER.unpack_from(data, 0)[0] == BATCH_MAGIC_TRACED:
-            ctx = TraceContext.unpack(data[8:])
-            if ctx.trace_id or ctx.span_id:
-                return ctx
+    """The producing span's context carried by a traced frame, if any."""
+    if len(data) < 8:
+        return None
+    magic = _HEADER.unpack_from(data, 0)[0]
+    ctx = None
+    if magic == BATCH_MAGIC_TRACED and len(data) >= 8 + TraceContext.WIRE_LEN:
+        ctx = TraceContext.unpack(data[8:])
+    elif magic == RANGE_MAGIC:
+        info = _range_header(data)
+        offset = _RANGE_HEADER.size
+        if info.traced and len(data) >= offset + TraceContext.WIRE_LEN:
+            ctx = TraceContext.unpack(data[offset:])
+    if ctx is not None and (ctx.trace_id or ctx.span_id):
+        return ctx
     return None
 
 
@@ -180,15 +326,28 @@ class BatchSender:
         self._queue.append((bytes(payload), time.perf_counter_ns()))
         return True
 
-    def flush(self) -> int:
+    def flush(
+        self,
+        slot_range: tuple[int, int] | None = None,
+        worker: int = 0,
+        spans_blob: bytes = b"",
+    ) -> int:
         """Send everything queued; returns the number of messages flushed.
 
+        Without ``slot_range`` this is the legacy behaviour: WBAT/WBT2
+        frames, nothing on the wire when the queue is empty.  With
+        ``slot_range=(lo, hi)`` the flush emits ``WBR3`` slot-range
+        frames instead - at least one even when the queue is empty (the
+        range header doubles as the progress heartbeat) - and the first
+        frame carries ``spans_blob`` (see :func:`encode_span_blob`).
+
         When tracing is live, the active span's context (the worker's
-        slot span) is stamped into each frame's ``WBT2`` header and the
+        slot span) is stamped into each frame's traced header and the
         whole flush is timed as an ``uplink.flush`` span; per-payload
         queue wait is observed into ``waran_uplink_queue_wait_us``.
         """
-        if not self._queue:
+        ranged = slot_range is not None
+        if not self._queue and not ranged:
             return 0
         tracer = OBS.tracer
         traced = tracer.enabled
@@ -204,11 +363,20 @@ class BatchSender:
         )
         flushed = 0
         bytes_before = self.bytes_sent
+        blob_bytes = 0  # kept out of the span attr: blob size tracks
+        # compressed float timings, which would make the structural
+        # trace digest wobble run-to-run
         with tracer.span("uplink.flush", dest=self.dest) as span:
             now = time.perf_counter_ns()
-            while self._queue:
+            first = True
+            while True:
+                blob = spans_blob if (first and ranged) else b""
                 batch: list[bytes] = []
-                size = 8 + (TraceContext.WIRE_LEN if traced else 0)
+                size = (
+                    (_RANGE_HEADER.size if ranged else 8)
+                    + (TraceContext.WIRE_LEN if traced else 0)
+                    + len(blob)
+                )
                 while (
                     self._queue
                     and len(batch) < self.max_batch
@@ -220,13 +388,33 @@ class BatchSender:
                         wait_hist.observe((now - enq_ns) / 1000.0)
                     size += 4 + len(payload)
                     batch.append(payload)
-                frame = pack_batch(batch, ctx=ctx, traced=traced)
+                if ranged:
+                    frame = pack_range_batch(
+                        batch,
+                        slot_range[0],
+                        slot_range[1],
+                        worker,
+                        ctx=ctx,
+                        traced=traced,
+                        spans_blob=blob,
+                    )
+                elif not batch:
+                    break
+                else:
+                    frame = pack_batch(batch, ctx=ctx, traced=traced)
                 self.endpoint.send(self.dest, frame)
                 self.batches_sent += 1
                 self.messages_sent += len(batch)
                 self.bytes_sent += len(frame)
+                blob_bytes += len(blob)
                 flushed += len(batch)
-            span.set(messages=flushed, bytes=self.bytes_sent - bytes_before)
+                first = False
+                if not self._queue:
+                    break
+            span.set(
+                messages=flushed,
+                bytes=self.bytes_sent - bytes_before - blob_bytes,
+            )
         return flushed
 
     def stats(self) -> dict[str, int]:

@@ -81,6 +81,10 @@ class _InProcEndpoint(Endpoint):
         except queue.Empty:
             return None
 
+    def close(self) -> None:
+        """Unregister, so peers get ``NetworkError`` like on TCP/shm."""
+        self._network._forget(self.name)
+
 
 class InProcNetwork:
     """Queue-backed network: deterministic and dependency-free."""
@@ -94,6 +98,19 @@ class InProcNetwork:
         ep = _InProcEndpoint(self, name)
         self._endpoints[name] = ep
         return ep
+
+    def _forget(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+
+    def close(self) -> None:
+        for ep in list(self._endpoints.values()):
+            ep.close()
+
+    def __enter__(self) -> "InProcNetwork":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 # ---------------------------------------------------------------------------

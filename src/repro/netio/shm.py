@@ -1,0 +1,563 @@
+"""Shared-memory ring-buffer transport (third backend beside inline/TCP).
+
+Cross-process delivery without sockets: every (producer -> consumer) pair
+owns one single-producer/single-consumer ring inside a
+:mod:`multiprocessing.shared_memory` segment, so a send is two bounded
+``memcpy``s and a cursor store - no syscall, no kernel socket buffer, and
+no reader thread on the receive side (the consumer polls its rings
+directly from whatever thread calls :meth:`recv`).
+
+Layout of one ring segment (all fields little-endian, data after a
+128-byte header)::
+
+    u32 magic      - written LAST during init; attachers treat a ring
+                     without it as "not ready yet"
+    u32 capacity   - data bytes (power of two, so free-running u32
+                     cursors stay consistent across 2^32 wraparound)
+    u32 head       - consumer cursor (only the consumer stores it)
+    u32 tail       - producer cursor (only the producer stores it)
+    u32 producer_flags / u32 consumer_flags - bit0 = closed
+    u16 src_len | src - producer endpoint name
+
+Each record in the data region is ``u32 len | payload`` copied byte-wise
+with wraparound.  Cursors are free-running; aligned 4-byte loads/stores
+are atomic on every platform CPython runs on, and each cursor has exactly
+one writer, so no locks are needed.
+
+Rendezvous is done with filesystem-atomic segment *names* instead of a
+registry: an endpoint announces itself by creating a presence segment
+(``w<session>.<name>``), and a producer claims the k-th inbound ring of a
+destination by being the first to ``create=True`` the segment
+``w<session>.<name>.p<k>`` (``FileExistsError`` means the slot is taken -
+an OS-level test-and-set).  The consumer attaches slots densely as they
+appear.  Closing a consumer sets the closed flag and unlinks its
+segments; producers detect the flag on the next send and either re-claim
+(endpoint restarted under the same name) or fail with
+:class:`~repro.netio.bus.NetworkError` (peer really gone) - the same
+semantics the TCP backend gets from reconnect-once.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import re
+import secrets
+import struct
+import threading
+import time
+from multiprocessing import resource_tracker, shared_memory
+
+from repro.netio.bus import Endpoint, NetworkError
+from repro.netio.framing import MAX_FRAME
+from repro.obs import OBS
+
+RING_MAGIC = 0x4D485357  # 'WSHM' little-endian
+HEADER_LEN = 128
+#: power of two large enough that any legal netio frame fits in one record
+DEFAULT_RING_BYTES = 32 << 20
+#: inbound ring slots per endpoint (claim scan upper bound)
+MAX_PRODUCERS = 64
+FLAG_CLOSED = 0x1
+
+_MASK = 0xFFFFFFFF
+_U32 = struct.Struct("<I")
+_SRC_LEN = struct.Struct("<H")
+
+_OFF_MAGIC = 0
+_OFF_CAPACITY = 4
+_OFF_HEAD = 8
+_OFF_TAIL = 12
+_OFF_PFLAGS = 16
+_OFF_CFLAGS = 20
+_OFF_SRC_LEN = 24
+_OFF_SRC = 26
+_SRC_MAX = HEADER_LEN - _OFF_SRC
+
+_SAFE_LABEL = re.compile(r"^[A-Za-z0-9_-]{1,16}$")
+
+
+def _segment_label(name: str) -> str:
+    """Filesystem-safe, bounded label for an endpoint name.
+
+    macOS caps POSIX shm names at 31 chars, so long or exotic endpoint
+    names map to a stable hash; the real name still travels in every
+    message body, so receivers always see the original.
+    """
+    if _SAFE_LABEL.match(name):
+        return name
+    return hashlib.sha256(name.encode("utf-8")).hexdigest()[:12]
+
+
+def _segment_base(session: str, name: str) -> str:
+    return f"w{session}.{_segment_label(name)}"
+
+
+_track_lock = threading.Lock()
+_track_depth = 0
+_track_orig = resource_tracker.register
+
+
+def _register_passthrough(name: str, rtype: str) -> None:
+    if rtype != "shared_memory":  # pragma: no cover - other resources
+        _track_orig(name, rtype)
+
+
+@contextlib.contextmanager
+def _untracked():
+    """Open SharedMemory segments without resource-tracker registration.
+
+    CPython's tracker registers *every* opened segment and unlinks the
+    leftovers at process exit - wrong twice over here: an attacher must
+    not destroy segments it merely reads (bpo-38119), and even balanced
+    register/unregister pairs are unsafe because the tracker's cache is
+    a *set* shared by every process in the tree - a producer's pair and
+    a consumer's pair for the same segment interleave into a
+    double-remove and a KeyError traceback in the tracker.  3.13 grew
+    ``SharedMemory(track=False)`` for exactly this; on 3.11 the
+    registration call is suppressed instead (cleanup duty is explicit
+    here anyway: consumers unlink on close, the session owner sweeps).
+    """
+    global _track_depth
+    with _track_lock:
+        if _track_depth == 0:
+            resource_tracker.register = _register_passthrough
+        _track_depth += 1
+    try:
+        yield
+    finally:
+        with _track_lock:
+            _track_depth -= 1
+            if _track_depth == 0:
+                resource_tracker.register = _track_orig
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting cleanup duty."""
+    deadline = time.monotonic() + 1.0
+    while True:
+        try:
+            with _untracked():
+                return shared_memory.SharedMemory(name=name)
+        except ValueError:
+            # shm_open(O_CREAT) and ftruncate are two syscalls: an
+            # attacher can glimpse the segment at size zero, where mmap
+            # fails.  Not-ready is indistinguishable from mid-creation,
+            # so retry briefly, then report "not there yet".
+            if time.monotonic() >= deadline:
+                raise FileNotFoundError(name) from None
+            time.sleep(1e-4)
+
+
+try:  # the C helper shared_memory itself uses; absent off-posix
+    import _posixshmem
+except ImportError:  # pragma: no cover
+    _posixshmem = None
+
+
+def _unlink_quiet(shm: shared_memory.SharedMemory) -> None:
+    """Unlink without touching the resource tracker's books.
+
+    Segments here are eagerly unregistered at open time, so the tracker
+    has nothing to balance - and it must not be involved at all: its
+    cache is a *set* shared by every registered process, so even
+    balanced register/unlink/unregister triples from two processes
+    racing over the same segment (endpoint close vs session sweep)
+    interleave into a double-remove and a KeyError traceback.  Calling
+    ``shm_unlink`` directly sends the tracker no message.
+    """
+    if _posixshmem is not None:
+        try:
+            _posixshmem.shm_unlink(shm._name)
+        except FileNotFoundError:
+            pass
+        return
+    try:  # pragma: no cover - non-posix fallback: rebalance the books
+        resource_tracker.register(shm._name, "shared_memory")
+        shm.unlink()
+    except FileNotFoundError:
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+
+
+class ShmRing:
+    """SPSC byte ring over one shared-memory segment.
+
+    Exactly one process calls the ``push`` side and one the ``pop`` side;
+    the producer owns ``tail``, the consumer owns ``head``.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory):
+        self._shm = shm
+
+    # ----- construction ---------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, name: str, src: str, capacity: int = DEFAULT_RING_BYTES
+    ) -> "ShmRing":
+        """Create + initialise a ring (producer side).
+
+        Raises ``FileExistsError`` when the segment name is already
+        claimed - callers use that as an atomic slot test-and-set.
+        """
+        if capacity <= 0 or capacity & (capacity - 1):
+            raise ValueError("ring capacity must be a power of two")
+        src_b = src.encode("utf-8")
+        if len(src_b) > _SRC_MAX:
+            src_b = src_b[:_SRC_MAX]
+        # untracked: the creator hands cleanup to the consumer (which
+        # unlinks on close) / the session sweep, so its exit must not
+        # unlink a ring a peer is still draining
+        with _untracked():
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=HEADER_LEN + capacity
+            )
+        buf = shm.buf
+        _U32.pack_into(buf, _OFF_CAPACITY, capacity)
+        _U32.pack_into(buf, _OFF_HEAD, 0)
+        _U32.pack_into(buf, _OFF_TAIL, 0)
+        _U32.pack_into(buf, _OFF_PFLAGS, 0)
+        _U32.pack_into(buf, _OFF_CFLAGS, 0)
+        _SRC_LEN.pack_into(buf, _OFF_SRC_LEN, len(src_b))
+        buf[_OFF_SRC : _OFF_SRC + len(src_b)] = src_b
+        _U32.pack_into(buf, _OFF_MAGIC, RING_MAGIC)  # publish last
+        return cls(shm)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        """Attach an existing ring (consumer side); may not be ready yet."""
+        return cls(_attach(name))
+
+    # ----- header accessors -----------------------------------------------
+
+    def _load(self, off: int) -> int:
+        return _U32.unpack_from(self._shm.buf, off)[0]
+
+    def _store(self, off: int, value: int) -> None:
+        _U32.pack_into(self._shm.buf, off, value & _MASK)
+
+    @property
+    def ready(self) -> bool:
+        return self._load(_OFF_MAGIC) == RING_MAGIC
+
+    @property
+    def capacity(self) -> int:
+        return self._load(_OFF_CAPACITY)
+
+    @property
+    def src(self) -> str:
+        n = _SRC_LEN.unpack_from(self._shm.buf, _OFF_SRC_LEN)[0]
+        return bytes(self._shm.buf[_OFF_SRC : _OFF_SRC + n]).decode("utf-8")
+
+    @property
+    def producer_closed(self) -> bool:
+        return bool(self._load(_OFF_PFLAGS) & FLAG_CLOSED)
+
+    @property
+    def consumer_closed(self) -> bool:
+        return bool(self._load(_OFF_CFLAGS) & FLAG_CLOSED)
+
+    def set_producer_closed(self) -> None:
+        self._store(_OFF_PFLAGS, self._load(_OFF_PFLAGS) | FLAG_CLOSED)
+
+    def set_consumer_closed(self) -> None:
+        self._store(_OFF_CFLAGS, self._load(_OFF_CFLAGS) | FLAG_CLOSED)
+
+    @property
+    def used(self) -> int:
+        return (self._load(_OFF_TAIL) - self._load(_OFF_HEAD)) & _MASK
+
+    # ----- data region ----------------------------------------------------
+
+    def _write_at(self, cursor: int, data: bytes) -> None:
+        cap = self.capacity
+        pos = cursor % cap
+        buf = self._shm.buf
+        first = min(len(data), cap - pos)
+        buf[HEADER_LEN + pos : HEADER_LEN + pos + first] = data[:first]
+        if first < len(data):
+            rest = len(data) - first
+            buf[HEADER_LEN : HEADER_LEN + rest] = data[first:]
+
+    def _read_at(self, cursor: int, n: int) -> bytes:
+        cap = self.capacity
+        pos = cursor % cap
+        buf = self._shm.buf
+        first = min(n, cap - pos)
+        out = bytes(buf[HEADER_LEN + pos : HEADER_LEN + pos + first])
+        if first < n:
+            out += bytes(buf[HEADER_LEN : HEADER_LEN + n - first])
+        return out
+
+    # ----- producer -------------------------------------------------------
+
+    def try_push(self, payload: bytes) -> bool:
+        """Write one record if it fits; False on a full ring.
+
+        Raises :class:`NetworkError` for messages that can never fit or
+        when the consumer has closed (nobody will ever drain the ring).
+        """
+        need = 4 + len(payload)
+        cap = self.capacity
+        if need > cap:
+            raise NetworkError(
+                f"message of {len(payload)} bytes exceeds ring capacity {cap}"
+            )
+        if self.consumer_closed:
+            raise NetworkError(f"consumer of ring {self._shm.name} is closed")
+        head = self._load(_OFF_HEAD)
+        tail = self._load(_OFF_TAIL)
+        if cap - ((tail - head) & _MASK) < need:
+            return False
+        self._write_at(tail, _U32.pack(len(payload)))
+        self._write_at((tail + 4) & _MASK, payload)
+        # publish after the record is fully written; the consumer never
+        # sees a partial record because tail moves once per push
+        self._store(_OFF_TAIL, tail + need)
+        return True
+
+    def push(self, payload: bytes, timeout: float = 5.0) -> None:
+        """Blocking push with exponential backoff; NetworkError on timeout."""
+        deadline = time.monotonic() + timeout
+        delay = 20e-6
+        while not self.try_push(payload):
+            if time.monotonic() >= deadline:
+                raise NetworkError(
+                    f"shm ring {self._shm.name} full for {timeout:.1f}s "
+                    "(consumer stalled or dead)"
+                )
+            time.sleep(delay)
+            delay = min(delay * 2, 2e-3)
+
+    # ----- consumer -------------------------------------------------------
+
+    def try_pop(self) -> bytes | None:
+        """Next record, or ``None`` when the ring is empty/not ready."""
+        if not self.ready:
+            return None
+        head = self._load(_OFF_HEAD)
+        tail = self._load(_OFF_TAIL)
+        if (tail - head) & _MASK == 0:
+            return None
+        (length,) = _U32.unpack(self._read_at(head, 4))
+        payload = self._read_at((head + 4) & _MASK, length)
+        self._store(_OFF_HEAD, head + 4 + length)
+        return payload
+
+    # ----- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - stray exported view
+            pass
+
+    def unlink(self) -> None:
+        _unlink_quiet(self._shm)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+
+# ---------------------------------------------------------------------------
+
+
+class _ShmEndpoint(Endpoint):
+    """Named mailbox over per-peer shm rings (polling receive, no threads)."""
+
+    _POLL_S = 2e-4
+
+    def __init__(self, network: "ShmNetwork", name: str):
+        super().__init__(name)
+        self._network = network
+        self._base = _segment_base(network.session, name)
+        try:
+            with _untracked():
+                self._presence = shared_memory.SharedMemory(
+                    name=self._base, create=True, size=16
+                )
+        except FileExistsError:
+            raise NetworkError(f"endpoint {name!r} already exists") from None
+        self._in: list[ShmRing] = []
+        self._next_slot = 0
+        self._out: dict[str, ShmRing] = {}
+        self._rr = 0
+        self._closed = False
+
+    # ----- send side ------------------------------------------------------
+
+    def _claim(self, dest: str) -> ShmRing:
+        base = _segment_base(self._network.session, dest)
+        try:
+            probe = _attach(base)
+            probe.close()
+        except FileNotFoundError:
+            raise NetworkError(f"no endpoint named {dest!r}") from None
+        for slot in range(MAX_PRODUCERS):
+            try:
+                return ShmRing.create(
+                    f"{base}.p{slot}",
+                    src=self.name,
+                    capacity=self._network.ring_bytes,
+                )
+            except FileExistsError:
+                continue
+        raise NetworkError(f"endpoint {dest!r} has no free producer slots")
+
+    def send(self, dest: str, payload: bytes) -> None:
+        if self._closed:
+            raise NetworkError(f"endpoint {self.name!r} is closed")
+        src_b = self.name.encode("utf-8")
+        body = _SRC_LEN.pack(len(src_b)) + src_b + bytes(payload)
+        if len(body) > MAX_FRAME:
+            raise NetworkError(f"message too large: {len(body)}")
+        with OBS.tracer.span("net.send", dest=dest, bytes=len(body)):
+            start_ns = time.perf_counter_ns() if OBS.enabled else 0
+            ring = self._out.get(dest)
+            if ring is not None and ring.consumer_closed:
+                ring.close()
+                self._out.pop(dest, None)
+                ring = None
+            if ring is None:
+                ring = self._claim(dest)
+                self._out[dest] = ring
+            if not ring.try_push(body):
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "waran_net_send_stall_total",
+                        "sends that blocked on a full shm ring",
+                    ).inc()
+                ring.push(body, timeout=5.0)
+            if OBS.enabled:
+                OBS.registry.histogram(
+                    "waran_net_send_us", "TCP frame send time (us)"
+                ).observe((time.perf_counter_ns() - start_ns) / 1000.0)
+
+    # ----- receive side ---------------------------------------------------
+
+    def _scan_producers(self) -> None:
+        while self._next_slot < MAX_PRODUCERS:
+            try:
+                ring = ShmRing.attach(f"{self._base}.p{self._next_slot}")
+            except FileNotFoundError:
+                return
+            self._in.append(ring)
+            self._next_slot += 1
+
+    def _pop_any(self) -> tuple[str, bytes] | None:
+        rings = self._in
+        n = len(rings)
+        for i in range(n):
+            idx = (self._rr + i) % n
+            body = rings[idx].try_pop()
+            if body is not None:
+                self._rr = (idx + 1) % n
+                (src_len,) = _SRC_LEN.unpack_from(body, 0)
+                source = body[2 : 2 + src_len].decode("utf-8")
+                payload = body[2 + src_len :]
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "waran_net_recv_frames_total", "frames received"
+                    ).inc()
+                    OBS.registry.counter(
+                        "waran_net_recv_bytes_total", "payload bytes received"
+                    ).inc(len(payload))
+                return source, payload
+        return None
+
+    def recv(self, timeout: float | None = 0.0) -> tuple[str, bytes] | None:
+        if self._closed:
+            return None
+        deadline = (
+            None if timeout is None else time.monotonic() + (timeout or 0.0)
+        )
+        while True:
+            self._scan_producers()
+            item = self._pop_any()
+            if item is not None:
+                return item
+            if timeout == 0.0:
+                return None
+            if deadline is not None and time.monotonic() >= deadline:
+                return None
+            time.sleep(self._POLL_S)
+
+    # ----- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # adopt rings claimed but not yet scanned, so they get unlinked too
+        self._scan_producers()
+        for ring in self._in:
+            ring.set_consumer_closed()
+            ring.close()
+            ring.unlink()
+        self._in.clear()
+        for ring in self._out.values():
+            ring.set_producer_closed()
+            ring.close()
+        self._out.clear()
+        self._presence.close()
+        _unlink_quiet(self._presence)
+        self._network._forget(self.name)
+
+
+class ShmNetwork:
+    """Shared-memory network, same interface as ``InProcNetwork``/``TcpNetwork``.
+
+    Usable across processes: the coordinator creates ``ShmNetwork()`` and
+    workers join the same namespace with ``ShmNetwork(session=key)`` -
+    the session key plays the role TCP ports play for
+    :meth:`TcpNetwork.register_peer`.  The session owner's :meth:`close`
+    sweeps any segment the session left behind (crash-safety backstop).
+    """
+
+    def __init__(self, session: str | None = None, ring_bytes: int = DEFAULT_RING_BYTES):
+        if ring_bytes <= 0 or ring_bytes & (ring_bytes - 1):
+            raise ValueError("ring_bytes must be a power of two")
+        self._owner = session is None
+        self.session = session if session is not None else secrets.token_hex(4)
+        self.ring_bytes = ring_bytes
+        self._endpoints: dict[str, _ShmEndpoint] = {}
+
+    def endpoint(self, name: str) -> Endpoint:
+        if name in self._endpoints:
+            raise NetworkError(f"endpoint {name!r} already exists")
+        ep = _ShmEndpoint(self, name)
+        self._endpoints[name] = ep
+        return ep
+
+    def _forget(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+
+    def close(self) -> None:
+        for ep in list(self._endpoints.values()):
+            ep.close()
+        if self._owner:
+            self._sweep()
+
+    def _sweep(self) -> None:
+        """Unlink anything the session left in /dev/shm (best effort)."""
+        shm_dir = "/dev/shm"
+        prefix = f"w{self.session}."
+        if not os.path.isdir(shm_dir):  # pragma: no cover - non-Linux
+            return
+        for fn in os.listdir(shm_dir):
+            if fn.startswith(prefix):
+                try:
+                    os.unlink(os.path.join(shm_dir, fn))
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+
+    def __enter__(self) -> "ShmNetwork":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -294,6 +294,22 @@ class Tracer:
         """Finished spans, oldest first."""
         return list(self._finished)
 
+    def drain_finished(self) -> list[dict[str, Any]]:
+        """Pop every finished span as an export doc, oldest first.
+
+        Streaming support: a long-running producer (a cluster worker)
+        drains between flushes and ships the docs over the wire, so the
+        ring buffer never evicts and the final result message stays
+        small.  Spans still open keep accumulating as usual.
+        """
+        out: list[dict[str, Any]] = []
+        while True:
+            try:
+                span = self._finished.popleft()
+            except IndexError:
+                return out
+            out.append(span.to_json())
+
     def to_json(self) -> list[dict[str, Any]]:
         return [span.to_json() for span in self._finished]
 

@@ -1,7 +1,8 @@
 """The committed starter corpora stay loadable, faithful and canonical.
 
-``tests/replay/corpus/*.wrc`` are reduced recordings of the chaos soak
-and the rt flash-crowd scenario, committed so CI (and the replay
+``tests/replay/corpus/*.wrc`` are reduced recordings of the chaos soak,
+the rt flash-crowd scenario and a 2-worker cluster sweep, committed so
+CI (and the replay
 benchmark) can exercise the full replay path without re-recording.
 Every corpus must replay bit-identically under all three engines and
 re-serialise to the exact committed bytes.
@@ -26,6 +27,7 @@ def test_starter_corpora_exist():
     assert {path.name for path in CORPORA} >= {
         "chaos_soak.wrc",
         "rt_flash_crowd.wrc",
+        "cluster_2w.wrc",
     }
 
 

@@ -43,12 +43,20 @@ class TestInlineTracedRun:
         for slot in slots:
             assert by_id[slot["parent_id"]]["name"] == "worker.run"
             assert slot["trace_id"] == root["trace_id"]
-        # coordinator ingest work parents under producing worker slots
+        # coordinator ingest work parents under the producing worker
+        # span: the active slot for cadence flushes, uplink.flush.final
+        # for the end-of-run range frame
         ingests = [d for d in spans if d["name"] == "coord.ingest"]
         assert ingests
-        slot_ids = {d["span_id"] for d in slots}
-        assert all(d["parent_id"] in slot_ids for d in ingests)
+        producer_ids = {d["span_id"] for d in slots} | {
+            d["span_id"] for d in spans if d["name"] == "uplink.flush.final"
+        }
+        assert all(d["parent_id"] in producer_ids for d in ingests)
         assert all(d["service"] == "coord" for d in ingests)
+        # at least one cadence flush still attributes into a worker.slot
+        assert any(
+            d["parent_id"] in {s["span_id"] for s in slots} for d in ingests
+        )
 
     def test_attribution_sums_within_10pct_of_p99(self):
         report = run_cluster(TRACED)

@@ -1,0 +1,258 @@
+"""Stress tests for the shared-memory SPSC ring and its rendezvous.
+
+All randomness is seeded: the same byte streams, sizes, and interleavings
+every run, so a failure here is a real ring bug and reproduces on the
+first retry.
+"""
+
+import os
+import secrets
+import threading
+import time
+from random import Random
+
+import pytest
+
+from repro.netio import NetworkError, ShmNetwork, ShmRing
+from repro.netio.shm import _OFF_HEAD, _OFF_TAIL
+
+CAP = 1 << 12  # 4 KiB data region: small enough to wrap constantly
+
+
+@pytest.fixture
+def ring():
+    name = f"wrt{secrets.token_hex(4)}"
+    r = ShmRing.create(name, src="prod", capacity=CAP)
+    yield r
+    r.close()
+    r.unlink()
+
+
+class TestRingBasics:
+    def test_roundtrip(self, ring):
+        assert ring.try_push(b"hello")
+        assert ring.try_pop() == b"hello"
+        assert ring.try_pop() is None
+
+    def test_empty_payload(self, ring):
+        assert ring.try_push(b"")
+        assert ring.try_pop() == b""
+
+    def test_attach_sees_producer_data(self, ring):
+        reader = ShmRing.attach(ring.name)
+        try:
+            ring.try_push(b"cross-view")
+            assert reader.ready
+            assert reader.src == "prod"
+            assert reader.try_pop() == b"cross-view"
+        finally:
+            reader.close()
+
+    def test_oversize_rejected(self, ring):
+        with pytest.raises(NetworkError):
+            ring.try_push(b"\x00" * CAP)  # record header can never fit
+
+    def test_consumer_closed_fails_fast(self, ring):
+        ring.set_consumer_closed()
+        with pytest.raises(NetworkError):
+            ring.try_push(b"x")
+
+    def test_capacity_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            ShmRing.create(f"wrt{secrets.token_hex(4)}", src="p", capacity=3000)
+
+
+class TestWraparound:
+    def test_records_cross_the_seam(self, ring):
+        # 1000-byte records in a 4096-byte ring: every fourth record
+        # straddles the physical end of the data region
+        rng = Random(1)
+        for i in range(50):
+            payload = bytes([rng.randrange(256)]) * 1000
+            assert ring.try_push(payload)
+            assert ring.try_pop() == payload
+        assert ring.used == 0
+
+    def test_randomized_sizes_seeded(self, ring):
+        rng = Random(7)
+        pending = []
+        for _ in range(500):
+            if pending and (len(pending) > 3 or rng.random() < 0.5):
+                assert ring.try_pop() == pending.pop(0)
+            else:
+                payload = rng.randbytes(rng.randrange(0, 900))
+                if ring.try_push(payload):
+                    pending.append(payload)
+        while pending:
+            assert ring.try_pop() == pending.pop(0)
+        assert ring.try_pop() is None
+
+    def test_free_running_cursors_survive_u32_wrap(self, ring):
+        # park both cursors just below 2^32; pushes/pops must keep
+        # working as the free-running counters wrap through zero
+        start = 0xFFFFFF00
+        ring._store(_OFF_HEAD, start)
+        ring._store(_OFF_TAIL, start)
+        rng = Random(3)
+        for _ in range(20):
+            payload = rng.randbytes(100)
+            assert ring.try_push(payload)
+            assert ring.try_pop() == payload
+        assert ring.used == 0
+
+
+class TestBackpressure:
+    def test_full_ring_refuses_then_recovers(self, ring):
+        payload = b"\xab" * 1000
+        accepted = 0
+        while ring.try_push(payload):
+            accepted += 1
+        assert accepted == CAP // (4 + 1000)
+        assert not ring.try_push(payload)  # still full
+        assert ring.try_pop() == payload
+        assert ring.try_push(payload)  # space reclaimed
+
+    def test_blocking_push_times_out(self, ring):
+        while ring.try_push(b"\x00" * 1000):
+            pass
+        t0 = time.monotonic()
+        with pytest.raises(NetworkError, match="full"):
+            ring.push(b"\x00" * 1000, timeout=0.2)
+        assert time.monotonic() - t0 >= 0.2
+
+    def test_blocking_push_wakes_on_drain(self, ring):
+        while ring.try_push(b"\x00" * 1000):
+            pass
+
+        def drain_soon():
+            time.sleep(0.05)
+            ring.try_pop()
+
+        t = threading.Thread(target=drain_soon)
+        t.start()
+        ring.push(b"\x01" * 1000, timeout=5.0)  # must not raise
+        t.join()
+
+
+class TestConcurrent:
+    def test_producer_consumer_threads(self, ring):
+        """2000 seeded messages through a ring that wraps ~500 times."""
+        rng = Random(11)
+        messages = [rng.randbytes(rng.randrange(1, 900)) for _ in range(2000)]
+        errors = []
+
+        def produce():
+            try:
+                for m in messages:
+                    ring.push(m, timeout=30.0)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        t = threading.Thread(target=produce)
+        t.start()
+        got = []
+        deadline = time.monotonic() + 60.0
+        while len(got) < len(messages) and time.monotonic() < deadline:
+            item = ring.try_pop()
+            if item is None:
+                time.sleep(0.0002)
+                continue
+            got.append(item)
+        t.join(timeout=10.0)
+        assert not errors
+        assert got == messages  # same order, same bytes
+        assert ring.used == 0
+
+
+class TestEndpointRendezvous:
+    def test_concurrent_slot_claims_are_atomic(self):
+        """8 producers racing for inbound slots never share a ring."""
+        with ShmNetwork(ring_bytes=1 << 16) as net:
+            sink = net.endpoint("sink")
+            barrier = threading.Barrier(8)
+            errors = []
+
+            def attack(i):
+                try:
+                    ep = net.endpoint(f"p{i}")
+                    barrier.wait(timeout=10.0)
+                    ep.send("sink", f"hello-{i}".encode())
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=attack, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=15.0)
+            assert not errors
+            got = {}
+            deadline = time.monotonic() + 10.0
+            while len(got) < 8 and time.monotonic() < deadline:
+                item = sink.recv(timeout=1.0)
+                if item is not None:
+                    got[item[0]] = item[1]
+            assert got == {f"p{i}": f"hello-{i}".encode() for i in range(8)}
+            # one distinct ring segment per producer
+            rings = [ep for ep in sink._in]
+            assert len({r.name for r in rings}) == 8
+
+    def test_reader_death_mid_stream_fails_sender(self):
+        """A consumer that vanished (rings marked closed, presence swept)
+        must fail the sender outright, not hang it."""
+        from repro.netio.shm import _unlink_quiet
+
+        with ShmNetwork(ring_bytes=1 << 12) as net:
+            a = net.endpoint("a")
+            b = net.endpoint("b")
+            a.send("b", b"alive")
+            assert b.recv(timeout=5.0) == ("a", b"alive")
+            # simulate death + sweep: consumer flags set, presence gone,
+            # but b's python object never ran close()
+            for r in b._in:
+                r.set_consumer_closed()
+            _unlink_quiet(b._presence)
+            b._closed = True
+            with pytest.raises(NetworkError):
+                a.send("b", b"into the void")
+            net._forget("b")  # keep network teardown from re-closing b
+
+    def test_restarted_reader_gets_fresh_ring(self):
+        with ShmNetwork(ring_bytes=1 << 12) as net:
+            a = net.endpoint("a")
+            b = net.endpoint("b")
+            a.send("b", b"one")
+            assert b.recv(timeout=5.0) == ("a", b"one")
+            b.close()
+            b2 = net.endpoint("b")
+            a.send("b", b"two")  # reclaims a slot on the reborn endpoint
+            assert b2.recv(timeout=5.0) == ("a", b"two")
+
+    def test_session_close_leaves_no_segments(self):
+        net = ShmNetwork(ring_bytes=1 << 12)
+        session = net.session
+        a = net.endpoint("a")
+        net.endpoint("b")
+        a.send("b", b"x")
+        net.close()
+        if os.path.isdir("/dev/shm"):
+            leftovers = [
+                fn
+                for fn in os.listdir("/dev/shm")
+                if fn.startswith(f"w{session}.")
+            ]
+            assert leftovers == []
+
+    def test_two_networks_share_a_session(self):
+        """The cross-process join path, in one process: same session key,
+        separate registries, messages flow."""
+        with ShmNetwork(ring_bytes=1 << 12) as owner:
+            coord = owner.endpoint("coord")
+            with ShmNetwork(
+                session=owner.session, ring_bytes=1 << 12
+            ) as joined:
+                w = joined.endpoint("worker0")
+                w.send("coord", b"report")
+                assert coord.recv(timeout=5.0) == ("worker0", b"report")
